@@ -1,0 +1,730 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 regenerates every table/figure of the paper (series printed the
+   way the paper plots them), the Section 6.4 summary, the Section 4 theory
+   artifacts, the optimality-gap study and the simulator validation.
+   Part 2 runs one Bechamel micro-benchmark per figure (the per-instance
+   routing pipeline on that figure's workload) and one per heuristic.
+
+   Environment: MANROUTE_TRIALS overrides the Monte-Carlo trials per point
+   (default 150); MANROUTE_SKIP_BECHAMEL=1 skips part 2. *)
+
+let section title =
+  Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* E1: Figure 2 *)
+
+let fig2 () =
+  section "E1 | Figure 2: routing-rule comparison (exact)";
+  let pxy, p1, p2 = Theory.Example_fig2.powers () in
+  Format.printf "P_XY = %g (paper: 128)@." pxy;
+  Format.printf "P_1-MP = %g (paper: 56)@." p1;
+  Format.printf "P_2-MP = %g (paper: 32)@." p2
+
+(* E2: Lemma 1 *)
+
+let lemma1 () =
+  section "E2 | Lemma 1: Manhattan path counts";
+  Format.printf " grid   binomial   recurrence@.";
+  List.iter
+    (fun p ->
+      Format.printf "%2dx%-2d %9d %12d@." p p
+        (Theory.Counting.grid_paths ~rows:p ~cols:p)
+        (Theory.Counting.grid_paths_recurrence ~rows:p ~cols:p))
+    [ 2; 3; 4; 6; 8; 10; 12 ]
+
+(* E3: Theorem 1 *)
+
+let thm1 () =
+  section "E3 | Theorem 1: P_XY / P_maxMP on a square CMP (single src/dst)";
+  let model = Power.Model.theory () in
+  Format.printf "   p   construction ratio   ratio/p   FW-optimal ratio@.";
+  List.iter
+    (fun p' ->
+      let r = Theory.Construction_thm1.ratio model ~p' ~total:1. in
+      let fw_ratio =
+        if p' <= 8 then begin
+          let mesh = Noc.Mesh.square (2 * p') in
+          let comms =
+            [
+              Traffic.Communication.make ~id:0
+                ~src:(Noc.Coord.make ~row:1 ~col:1)
+                ~snk:(Noc.Coord.make ~row:(2 * p') ~col:(2 * p'))
+                ~rate:1.;
+            ]
+          in
+          let fw = Optim.Frank_wolfe.solve ~iterations:300 model mesh comms in
+          Printf.sprintf "%8.2f"
+            (Theory.Construction_thm1.xy_power model ~p' ~total:1.
+            /. fw.objective)
+        end
+        else "       -"
+      in
+      Format.printf "%4d %20.2f %9.3f   %s@." (2 * p') r
+        (r /. float_of_int (2 * p'))
+        fw_ratio)
+    [ 1; 2; 4; 8; 16; 32 ]
+
+(* E4: Lemma 2 / Theorem 2 *)
+
+let lem2 () =
+  section "E4 | Lemma 2: P_XY / P_YX = Theta(p^(alpha-1)), alpha = 3";
+  let model = Power.Model.theory () in
+  Format.printf "   p      ratio   ratio/p^2@.";
+  List.iter
+    (fun p' ->
+      let r = Theory.Construction_lem2.ratio model ~p' in
+      Format.printf "%4d %10.2f %11.4f@." (p' + 1) r
+        (r /. float_of_int (p' * p')))
+    [ 2; 4; 8; 16; 32; 64 ]
+
+(* E5: Theorem 3 gadget *)
+
+let np_gadget () =
+  section "E5 | Theorem 3: NP-completeness gadget (2-Partition reduction)";
+  List.iter
+    (fun values ->
+      let s = Theory.Np_gadget.min_s values in
+      let g = Theory.Np_gadget.build ~s values in
+      let solvable = Theory.Np_gadget.solvable g in
+      let witness =
+        match Theory.Np_gadget.find_partition values with
+        | Some subset ->
+            let sol = Theory.Np_gadget.solution_of_partition g subset in
+            let r = Routing.Evaluate.solution (Theory.Np_gadget.model g) sol in
+            Printf.sprintf "witness feasible=%b" r.Routing.Evaluate.feasible
+        | None -> "no witness"
+      in
+      Format.printf "  {%s}: s=%d, 2x%d CMP, BW=%g -> solvable=%b, %s@."
+        (String.concat ","
+           (List.map string_of_int (Array.to_list values)))
+        s
+        (Noc.Mesh.cols g.Theory.Np_gadget.mesh)
+        g.Theory.Np_gadget.bandwidth solvable witness)
+    [ [| 3; 5; 4; 2 |]; [| 2; 2; 2; 2 |]; [| 1; 1; 8; 2 |]; [| 7; 3; 6; 4; 5; 5 |] ]
+
+(* E6-E9: Figures 7, 8, 9 and the Section 6.4 summary *)
+
+let figures summary =
+  List.iter
+    (fun figure ->
+      section
+        (Printf.sprintf "E6-E8 | %s" figure.Harness.Figure.title);
+      let r = Harness.Runner.run ~summary figure in
+      Format.printf "%a@." Harness.Render.pp_result r)
+    Harness.Figure.all
+
+let summary_table acc =
+  section "E9 | Section 6.4 aggregate statistics";
+  Format.printf "%a@." Harness.Summary.pp (Harness.Summary.finalize acc);
+  Format.printf
+    "(paper: success XY 15%%, XYI 46%%, PR 50%%, BEST 51%%; inverse power vs \
+     XY: XYI 2.44, PR 2.57, BEST 2.95; static ~1/7)@."
+
+(* E10: optimality gap *)
+
+let optimal_gap () =
+  section "E10 | Optimality gap on 4x4 instances (exact 1-MP vs heuristics)";
+  let mesh = Noc.Mesh.square 4 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 4242 in
+  let stats = Hashtbl.create 8 in
+  List.iter
+    (fun (h : Routing.Heuristic.t) -> Hashtbl.replace stats h.name (0., 0))
+    Routing.Heuristic.all;
+  let solved = ref 0 in
+  for _ = 1 to 20 do
+    let comms =
+      Traffic.Workload.uniform rng mesh ~n:6
+        ~weight:(Traffic.Workload.weight ~lo:400. ~hi:1600.)
+    in
+    match Optim.Exact.route model mesh comms with
+    | Optim.Exact.Optimal (_, opt) ->
+        incr solved;
+        List.iter
+          (fun (o : Routing.Best.outcome) ->
+            if o.report.Routing.Evaluate.feasible then begin
+              let s, c = Hashtbl.find stats o.heuristic.name in
+              Hashtbl.replace stats o.heuristic.name
+                (s +. ((o.report.total_power -. opt) /. opt), c + 1)
+            end)
+          (Routing.Best.run_all model mesh comms)
+    | _ -> ()
+  done;
+  Format.printf "instances solved exactly: %d/20@." !solved;
+  List.iter
+    (fun (h : Routing.Heuristic.t) ->
+      let s, c = Hashtbl.find stats h.name in
+      if c > 0 then
+        Format.printf "  %-4s mean gap %.1f%% over %d feasible runs@." h.name
+          (100. *. s /. float_of_int c)
+          c)
+    Routing.Heuristic.all;
+  (* Simulated annealing as a slow near-optimal reference. *)
+  let rng = Traffic.Rng.create 4242 in
+  let sa_gap = ref 0. and sa_n = ref 0 in
+  for _ = 1 to 20 do
+    let comms =
+      Traffic.Workload.uniform rng mesh ~n:6
+        ~weight:(Traffic.Workload.weight ~lo:400. ~hi:1600.)
+    in
+    match Optim.Exact.route model mesh comms with
+    | Optim.Exact.Optimal (_, opt) ->
+        let sa = Routing.Annealer.route ~iterations:20_000 mesh model comms in
+        let r = Routing.Evaluate.solution model sa in
+        if r.Routing.Evaluate.feasible then begin
+          sa_gap := !sa_gap +. ((r.total_power -. opt) /. opt);
+          incr sa_n
+        end
+    | _ -> ()
+  done;
+  if !sa_n > 0 then
+    Format.printf "  SA   mean gap %.1f%% over %d feasible runs (reference)@."
+      (100. *. !sa_gap /. float_of_int !sa_n)
+      !sa_n
+
+(* E11: simulator validation *)
+
+let sim_validation () =
+  section "E11 | Wormhole-simulator validation of routed solutions";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 77 in
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n:14
+      ~weight:(Traffic.Workload.weight ~lo:300. ~hi:1300.)
+  in
+  List.iter
+    (fun (o : Routing.Best.outcome) ->
+      if o.report.Routing.Evaluate.feasible then begin
+        let v = Sim.Validate.run ~cycles:12_000 model o.solution in
+        Format.printf
+          "  %-4s analytic feasible -> sim worst delivered fraction %.3f \
+           (%s)@."
+          o.heuristic.name v.worst_fraction
+          (if v.all_delivered then "ok" else "UNDER-DELIVERY")
+      end
+      else Format.printf "  %-4s analytic infeasible (skipped)@." o.heuristic.name)
+    (Routing.Best.run_all model mesh comms)
+
+(* E12: ablations *)
+
+let ablation_sorting () =
+  section "E12a | Ablation: greedy processing order (SG, 400 instances)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  List.iter
+    (fun (label, order) ->
+      let rng = Traffic.Rng.create 31 in
+      let succ = ref 0 and power = ref 0. and count = ref 0 in
+      for _ = 1 to 400 do
+        let comms = Traffic.Workload.uniform rng mesh ~n:30 ~weight:Traffic.Workload.small in
+        let s = Routing.Simple_greedy.route ~order mesh comms in
+        let r = Routing.Evaluate.solution model s in
+        if r.Routing.Evaluate.feasible then begin
+          incr succ;
+          power := !power +. r.total_power;
+          incr count
+        end
+      done;
+      Format.printf "  %-24s success %5.1f%%  mean power %s@." label
+        (100. *. float_of_int !succ /. 400.)
+        (if !count = 0 then "-"
+         else Printf.sprintf "%.0f mW" (!power /. float_of_int !count)))
+    [
+      ("decreasing weight (paper)", Traffic.Communication.By_rate_desc);
+      ("decreasing length", Traffic.Communication.By_length_desc);
+      ("decreasing weight/length", Traffic.Communication.By_rate_per_length_desc);
+    ]
+
+let ablation_frequencies () =
+  section "E12b | Ablation: discrete vs continuous link frequencies";
+  let mesh = Noc.Mesh.square 8 in
+  List.iter
+    (fun (label, model) ->
+      let rng = Traffic.Rng.create 47 in
+      let acc = ref 0. and succ = ref 0 in
+      for _ = 1 to 300 do
+        let comms = Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed in
+        match Routing.Best.route model mesh comms with
+        | Some best ->
+            incr succ;
+            acc := !acc +. best.report.Routing.Evaluate.total_power
+        | None -> ()
+      done;
+      Format.printf "  %-12s BEST success %5.1f%%, mean BEST power %s@." label
+        (100. *. float_of_int !succ /. 300.)
+        (if !succ = 0 then "-"
+         else Printf.sprintf "%.0f mW" (!acc /. float_of_int !succ)))
+    [
+      ("discrete", Power.Model.kim_horowitz);
+      ("continuous", Power.Model.kim_horowitz_continuous);
+    ]
+
+let ablation_leakage () =
+  section "E12c | Ablation: P_leak / P0 ratio (Section 6.4 remark)";
+  let mesh = Noc.Mesh.square 8 in
+  List.iter
+    (fun scale ->
+      let model =
+        Power.Model.make
+          ~mode:(Power.Model.Discrete [| 1000.; 2500.; 3500. |])
+          ~gbps_scale:1000. ~p_leak:(16.9 *. scale) ~p0:5.41 ~alpha:2.95
+          ~capacity:3500. ()
+      in
+      let rng = Traffic.Rng.create 53 in
+      let wins = Hashtbl.create 8 in
+      List.iter
+        (fun (h : Routing.Heuristic.t) -> Hashtbl.replace wins h.name 0)
+        Routing.Heuristic.all;
+      let static_frac = ref 0. and n_ok = ref 0 in
+      for _ = 1 to 300 do
+        let comms = Traffic.Workload.uniform rng mesh ~n:20 ~weight:Traffic.Workload.mixed in
+        match Routing.Best.route model mesh comms with
+        | Some best ->
+            Hashtbl.replace wins best.heuristic.name
+              (Hashtbl.find wins best.heuristic.name + 1);
+            incr n_ok;
+            static_frac :=
+              !static_frac
+              +. best.report.Routing.Evaluate.static_power
+                 /. best.report.total_power
+        | None -> ()
+      done;
+      let winners =
+        List.filter_map
+          (fun (h : Routing.Heuristic.t) ->
+            let w = Hashtbl.find wins h.name in
+            if w > 0 then Some (Printf.sprintf "%s:%d" h.name w) else None)
+          Routing.Heuristic.all
+      in
+      Format.printf "  P_leak x%-4g static fraction %.2f, BEST wins: %s@."
+        scale
+        (if !n_ok = 0 then Float.nan
+         else !static_frac /. float_of_int !n_ok)
+        (String.concat " " winners))
+    [ 0.; 0.25; 1.; 4. ]
+
+let ablation_multipath () =
+  section "E12d | Ablation: multi-path routing (paper future work)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let policies =
+    [
+      ("SG (1-MP)", fun comms -> Routing.Simple_greedy.route mesh comms);
+      ( "SG split s=2",
+        fun comms ->
+          Routing.Multipath.route_split ~s:2 ~base:Routing.Heuristic.sg model
+            mesh comms );
+      ( "SG split s=4",
+        fun comms ->
+          Routing.Multipath.route_split ~s:4 ~base:Routing.Heuristic.sg model
+            mesh comms );
+      ("PR (1-MP)", fun comms -> Routing.Path_remover.route mesh comms);
+      ( "PR-MP s=2",
+        fun comms -> Routing.Path_remover.route_multipath ~s:2 mesh comms );
+      ( "PR-MP s=4",
+        fun comms -> Routing.Path_remover.route_multipath ~s:4 mesh comms );
+    ]
+  in
+  List.iter
+    (fun (label, solve) ->
+      let rng = Traffic.Rng.create 61 in
+      let succ = ref 0 and acc = ref 0. in
+      for _ = 1 to 300 do
+        let comms = Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed in
+        let r = Routing.Evaluate.solution model (solve comms) in
+        if r.Routing.Evaluate.feasible then begin
+          incr succ;
+          acc := !acc +. r.total_power
+        end
+      done;
+      Format.printf "  %-12s success %5.1f%%  mean power %s@." label
+        (100. *. float_of_int !succ /. 300.)
+        (if !succ = 0 then "-"
+         else Printf.sprintf "%.0f mW" (!acc /. float_of_int !succ)))
+    policies
+
+(* E16: the XYI local search applied as a refinement pass on top of every
+   heuristic — how much is left on the table after each policy? *)
+
+let ablation_refinement () =
+  section "E16 | Ablation: diversion refinement on top of each heuristic";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  List.iter
+    (fun (h : Routing.Heuristic.t) ->
+      let rng = Traffic.Rng.create 83 in
+      let base_succ = ref 0 and ref_succ = ref 0 in
+      let gain = ref 0. and gain_n = ref 0 in
+      for _ = 1 to 200 do
+        let comms = Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed in
+        let base = h.run model mesh comms in
+        let refined = Routing.Xy_improver.improve model base in
+        let rb = Routing.Evaluate.solution model base
+        and rr = Routing.Evaluate.solution model refined in
+        if rb.Routing.Evaluate.feasible then incr base_succ;
+        if rr.Routing.Evaluate.feasible then begin
+          incr ref_succ;
+          if rb.Routing.Evaluate.feasible then begin
+            gain := !gain +. (1. -. (rr.total_power /. rb.total_power));
+            incr gain_n
+          end
+        end
+      done;
+      Format.printf
+        "  %-4s success %5.1f%% -> %5.1f%%; mean power saving %s@." h.name
+        (100. *. float_of_int !base_succ /. 200.)
+        (100. *. float_of_int !ref_succ /. 200.)
+        (if !gain_n = 0 then "-"
+         else Printf.sprintf "%.1f%%" (100. *. !gain /. float_of_int !gain_n)))
+    Routing.Heuristic.all
+
+(* E14: classical NoC traffic patterns — structured workloads the paper
+   does not evaluate but any adopter of the library will throw at it. *)
+
+let patterns_experiment () =
+  section "E14 | Classical traffic patterns (8x8, per-flow rate in Mb/s)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  Format.printf
+    "  pattern          rate   XY             BEST@.";
+  List.iter
+    (fun pattern ->
+      if Traffic.Patterns.is_applicable pattern mesh then
+        List.iter
+          (fun rate ->
+            let comms = Traffic.Patterns.communications pattern ~rate mesh in
+            let xy =
+              Routing.Evaluate.solution model (Routing.Xy.route mesh comms)
+            in
+            let xy_s =
+              if xy.Routing.Evaluate.feasible then
+                Printf.sprintf "%8.0f mW " xy.total_power
+              else "    fail    "
+            in
+            let best_s =
+              match Routing.Best.route model mesh comms with
+              | Some b ->
+                  Printf.sprintf "%8.0f mW (%s)"
+                    b.report.Routing.Evaluate.total_power b.heuristic.name
+              | None -> "    fail"
+            in
+            Format.printf "  %-15s %5.0f  %s  %s@."
+              (Traffic.Patterns.name pattern)
+              rate xy_s best_s)
+          [ 450.; 700.; 1100. ])
+    Traffic.Patterns.all;
+  (* Hotspot: half the traffic converges on the center. *)
+  let rng = Traffic.Rng.create 99 in
+  let comms =
+    Traffic.Patterns.hotspot rng mesh ~n:30
+      ~hotspot:(Noc.Coord.make ~row:4 ~col:4)
+      ~bias:0.5
+      ~weight:(Traffic.Workload.weight ~lo:200. ~hi:800.)
+  in
+  (match Routing.Best.route model mesh comms with
+  | Some b ->
+      Format.printf "  hotspot(0.5)      -    -             %8.0f mW (%s)@."
+        b.report.Routing.Evaluate.total_power b.heuristic.name
+  | None -> Format.printf "  hotspot(0.5): no feasible routing@.")
+
+(* E15: when every single-path heuristic fails, is the instance actually
+   hopeless, or would path splitting (the paper's s-MP rules) save it?
+   The Frank-Wolfe overload minimizer gives a constructive fractional
+   certificate. *)
+
+let splitting_rescue () =
+  section "E15 | Splitting rescue rate on 1-MP-infeasible instances";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 271 in
+  let trials = 150 in
+  let best_failed = ref 0
+  and fractional_ok = ref 0
+  and prmp_ok = ref 0
+  and split_ok = ref 0 in
+  for _ = 1 to trials do
+    let comms = Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed in
+    match Routing.Best.route model mesh comms with
+    | Some _ -> ()
+    | None ->
+        incr best_failed;
+        if Optim.Frank_wolfe.fractionally_feasible ~iterations:600 model mesh comms
+        then incr fractional_ok;
+        let feasible sol =
+          (Routing.Evaluate.solution model sol).Routing.Evaluate.feasible
+        in
+        if feasible (Routing.Path_remover.route_multipath ~s:4 mesh comms)
+        then incr prmp_ok;
+        if
+          feasible
+            (Routing.Multipath.route_split ~s:4 ~base:Routing.Heuristic.sg
+               model mesh comms)
+        then incr split_ok
+  done;
+  Format.printf
+    "  %d/%d instances defeat all six single-path heuristics; of those:@."
+    !best_failed trials;
+  if !best_failed > 0 then begin
+    let pct x = 100. *. float_of_int x /. float_of_int !best_failed in
+    Format.printf "    max-MP fractionally feasible (FW certificate): %.0f%%@."
+      (pct !fractional_ok);
+    Format.printf "    rescued by PR-MP (s=4):                        %.0f%%@."
+      (pct !prmp_ok);
+    Format.printf "    rescued by even 4-way splitting over SG:       %.0f%%@."
+      (pct !split_ok)
+  end
+
+(* E13: the paper's open problem — single source/destination pair, how much
+   can single-path routing gain, and how close is it to max-MP? *)
+
+let open_problem () =
+  section
+    "E13 | Open problem: single src/dst pair, 1-MP vs max-MP (theory model)";
+  let p = 8 in
+  let mesh = Noc.Mesh.square p in
+  let model = Power.Model.theory () in
+  let src = Noc.Coord.make ~row:1 ~col:1
+  and snk = Noc.Coord.make ~row:p ~col:p in
+  Format.printf
+    "  nc equal communications (1,1)->(%d,%d), total 1.0; entries are \
+     P_XY / P_policy@."
+    p p;
+  Format.printf "  nc   best-1MP   PR-MP(s=8)   max-MP(FW)@.";
+  List.iter
+    (fun nc ->
+      let rng = Traffic.Rng.create 5 in
+      let comms =
+        Traffic.Workload.single_pair rng ~src ~snk ~n:nc
+          ~weight:
+            (Traffic.Workload.weight
+               ~lo:(1. /. float_of_int nc)
+               ~hi:(1. /. float_of_int nc))
+      in
+      let p_xy =
+        Routing.Evaluate.penalized model
+          (Routing.Solution.loads (Routing.Xy.route mesh comms))
+      in
+      let dyn s =
+        (Routing.Evaluate.solution model s).Routing.Evaluate.dynamic_power
+      in
+      let best_1mp =
+        List.fold_left
+          (fun acc (h : Routing.Heuristic.t) ->
+            Float.min acc (dyn (h.run model mesh comms)))
+          infinity Routing.Heuristic.manhattan
+      in
+      let pr_mp = dyn (Routing.Path_remover.route_multipath ~s:8 mesh comms) in
+      let fw = (Optim.Frank_wolfe.solve ~iterations:300 model mesh comms).objective in
+      Format.printf "  %2d %10.2f %12.2f %12.2f@." nc (p_xy /. best_1mp)
+        (p_xy /. pr_mp) (p_xy /. fw))
+    [ 1; 2; 4; 8; 16 ]
+
+(* E17: scaling with the chip size — the paper fixes 8x8; here the mesh
+   grows with communication density held constant (nc = cores / 2). *)
+
+let mesh_scaling () =
+  section "E17 | Scaling with mesh size (nc = cores/2, small weights)";
+  let model = Power.Model.kim_horowitz in
+  Format.printf
+    "   p   nc   XY-succ  XYI-succ  PR-succ  BEST-succ   XYI-norm  PR-norm   ms/instance@.";
+  List.iter
+    (fun p ->
+      let mesh = Noc.Mesh.square p in
+      let n = Noc.Mesh.num_cores mesh / 2 in
+      let trials = 60 in
+      let rng = Traffic.Rng.create (1000 + p) in
+      let succ = Hashtbl.create 8 and norm = Hashtbl.create 8 in
+      List.iter
+        (fun name ->
+          Hashtbl.replace succ name 0;
+          Hashtbl.replace norm name 0.)
+        [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "BEST" ];
+      let t0 = Sys.time () in
+      for _ = 1 to trials do
+        let comms = Traffic.Workload.uniform rng mesh ~n ~weight:Traffic.Workload.small in
+        let outcomes = Routing.Best.run_all model mesh comms in
+        let best = Routing.Best.best_of outcomes in
+        let best_power =
+          Option.map
+            (fun (o : Routing.Best.outcome) -> o.report.Routing.Evaluate.total_power)
+            best
+        in
+        let record name (r : Routing.Evaluate.report) =
+          if r.feasible then begin
+            Hashtbl.replace succ name (Hashtbl.find succ name + 1);
+            match best_power with
+            | Some pb ->
+                Hashtbl.replace norm name
+                  (Hashtbl.find norm name +. (pb /. r.total_power))
+            | None -> ()
+          end
+        in
+        List.iter
+          (fun (o : Routing.Best.outcome) -> record o.heuristic.name o.report)
+          outcomes;
+        Option.iter
+          (fun (o : Routing.Best.outcome) -> record "BEST" o.report)
+          best
+      done;
+      let elapsed = 1000. *. (Sys.time () -. t0) /. float_of_int trials in
+      let pct name = 100. *. float_of_int (Hashtbl.find succ name) /. float_of_int trials in
+      let nrm name = Hashtbl.find norm name /. float_of_int trials in
+      Format.printf
+        "  %2d %4d   %5.1f%%   %5.1f%%   %5.1f%%    %5.1f%%      %5.2f    %5.2f   %8.1f@."
+        p n (pct "XY") (pct "XYI") (pct "PR") (pct "BEST") (nrm "XYI")
+        (nrm "PR") elapsed)
+    [ 4; 6; 8; 10; 12; 16 ]
+
+(* E18: robustness of the Figure 8 cliff to the (unspecified) weight
+   spread. The paper's sudden collapse "around 1750 Mb/s" happens once
+   every weight exceeds BW/2; with a band of width w centred on the
+   average, that is avg > 1750 + w/2 — so the cliff must appear for every
+   width, shifted by half the width. Validates DESIGN.md assumption #1. *)
+
+let weight_band_ablation () =
+  section
+    "E18 | Ablation: Fig. 8 cliff vs weight-band width (XYI | BEST failure %)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let avgs = [ 1500.; 1700.; 1900.; 2100.; 2300.; 2500. ] in
+  Format.printf "  width |";
+  List.iter (fun a -> Format.printf "   %6.0f" a) avgs;
+  Format.printf "   (average weight, Mb/s)@.";
+  List.iter
+    (fun width ->
+      Format.printf "  %5.0f |" width;
+      List.iter
+        (fun avg ->
+          let rng = Traffic.Rng.create (int_of_float (width +. avg)) in
+          let lo = Float.max 1. (avg -. (width /. 2.))
+          and hi = avg +. (width /. 2.) in
+          let weight = Traffic.Workload.weight ~lo ~hi in
+          let xyi_fails = ref 0 and best_fails = ref 0 in
+          let trials = 100 in
+          for _ = 1 to trials do
+            let comms = Traffic.Workload.uniform rng mesh ~n:10 ~weight in
+            let outcomes = Routing.Best.run_all model mesh comms in
+            if
+              List.exists
+                (fun (o : Routing.Best.outcome) ->
+                  o.heuristic.name = "XYI"
+                  && not o.report.Routing.Evaluate.feasible)
+                outcomes
+            then incr xyi_fails;
+            if Routing.Best.best_of outcomes = None then incr best_fails
+          done;
+          Format.printf " %3d|%-3d"
+            (100 * !xyi_fails / trials)
+            (100 * !best_fails / trials))
+        avgs;
+      Format.printf "@.")
+    [ 100.; 500.; 1000. ]
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks *)
+
+let bechamel_part () =
+  let open Bechamel in
+  let open Toolkit in
+  section "Micro-benchmarks (Bechamel, one test per figure + per heuristic)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  (* One Test.make per figure: full per-instance pipeline (generate + all
+     heuristics + BEST) on a representative x of that figure. *)
+  let per_figure =
+    List.map
+      (fun figure ->
+        let x = List.nth figure.Harness.Figure.xs (List.length figure.Harness.Figure.xs / 2) in
+        let rng = Traffic.Rng.create 1234 in
+        Test.make
+          ~name:(Printf.sprintf "%s(x=%g)" figure.Harness.Figure.id x)
+          (Staged.stage (fun () ->
+               let comms = figure.Harness.Figure.generate rng x in
+               ignore (Routing.Best.route model mesh comms))))
+      Harness.Figure.all
+  in
+  let fixed_comms =
+    let rng = Traffic.Rng.create 888 in
+    Traffic.Workload.uniform rng mesh ~n:40 ~weight:Traffic.Workload.mixed
+  in
+  let per_heuristic =
+    List.map
+      (fun (h : Routing.Heuristic.t) ->
+        Test.make ~name:("heuristic:" ^ h.name)
+          (Staged.stage (fun () -> ignore (h.run model mesh fixed_comms))))
+      Routing.Heuristic.all
+  in
+  let theory_tests =
+    [
+      Test.make ~name:"thm1-construction(p'=8)"
+        (Staged.stage (fun () ->
+             ignore
+               (Theory.Construction_thm1.power (Power.Model.theory ()) ~p':8
+                  ~total:1.)));
+      Test.make ~name:"frank-wolfe(6x6,10comms,50it)"
+        (Staged.stage
+           (let mesh6 = Noc.Mesh.square 6 in
+            let rng = Traffic.Rng.create 3 in
+            let comms =
+              Traffic.Workload.uniform rng mesh6 ~n:10
+                ~weight:Traffic.Workload.small
+            in
+            fun () ->
+              ignore
+                (Optim.Frank_wolfe.solve ~iterations:50
+                   Power.Model.kim_horowitz_continuous mesh6 comms)));
+    ]
+  in
+  let tests = per_figure @ per_heuristic @ theory_tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analysis = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.sprintf "%12.1f ns/run" est
+            | _ -> "          n/a"
+          in
+          Format.printf "  %-32s %s@." name ns)
+        analysis)
+    (List.map (fun t -> Test.make_grouped ~name:"g" [ t ]) tests)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Format.printf "manroute reproduction harness (trials/point: %d)@."
+    (Harness.Runner.default_trials ());
+  fig2 ();
+  lemma1 ();
+  thm1 ();
+  lem2 ();
+  np_gadget ();
+  let acc = Harness.Summary.create () in
+  figures acc;
+  summary_table acc;
+  optimal_gap ();
+  sim_validation ();
+  ablation_sorting ();
+  ablation_frequencies ();
+  ablation_leakage ();
+  ablation_multipath ();
+  ablation_refinement ();
+  patterns_experiment ();
+  open_problem ();
+  splitting_rescue ();
+  mesh_scaling ();
+  weight_band_ablation ();
+  if Sys.getenv_opt "MANROUTE_SKIP_BECHAMEL" <> Some "1" then bechamel_part ();
+  Format.printf "@.done.@."

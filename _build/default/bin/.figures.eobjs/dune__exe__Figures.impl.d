@@ -1,0 +1,1 @@
+bin/figures.ml: Array Format Harness List Sys

@@ -1,0 +1,1 @@
+bin/manroute.ml: Arg Cmd Cmdliner Format Harness List Noc Optim Power Printf Routing Sim String Term Theory Traffic

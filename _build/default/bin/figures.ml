@@ -1,0 +1,15 @@
+(* figures: regenerate every simulation figure of the paper to CSV plus an
+   ASCII rendering on stdout. Output directory: first argument, default
+   ./results. Trials per point: MANROUTE_TRIALS (default 150). *)
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "results" in
+  let acc = Harness.Summary.create () in
+  List.iter
+    (fun figure ->
+      let r = Harness.Runner.run ~summary:acc figure in
+      Format.printf "%a@." Harness.Render.pp_result r;
+      let path = Harness.Render.write_csv ~dir r in
+      Format.printf "-> %s@.@." path)
+    Harness.Figure.all;
+  Format.printf "%a@." Harness.Summary.pp (Harness.Summary.finalize acc)

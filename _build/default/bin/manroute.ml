@@ -1,0 +1,406 @@
+(* manroute: command-line front end for the power-aware Manhattan routing
+   library. Sub-commands: route (solve one instance), figure (reproduce a
+   paper figure), theory (Section 4 artifacts), optimal (exact solver vs
+   heuristics), generate (write a random problem file). *)
+
+open Cmdliner
+
+(* ---------------- shared arguments ---------------- *)
+
+let mesh_arg =
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some rows, Some cols when rows >= 1 && cols >= 1 ->
+            Ok (Noc.Mesh.create ~rows ~cols)
+        | _ -> Error (`Msg "expected ROWSxCOLS"))
+    | _ -> Error (`Msg "expected ROWSxCOLS")
+  in
+  let print ppf m =
+    Format.fprintf ppf "%dx%d" (Noc.Mesh.rows m) (Noc.Mesh.cols m)
+  in
+  Arg.conv (parse, print)
+
+let mesh_t =
+  Arg.(
+    value
+    & opt mesh_arg (Noc.Mesh.square 8)
+    & info [ "mesh" ] ~docv:"PxQ" ~doc:"Mesh dimensions (default 8x8).")
+
+let model_conv =
+  Arg.enum
+    [
+      ("kim-horowitz", Power.Model.kim_horowitz);
+      ("continuous", Power.Model.kim_horowitz_continuous);
+      ("theory", Power.Model.theory ());
+    ]
+
+let model_t =
+  Arg.(
+    value
+    & opt model_conv Power.Model.kim_horowitz
+    & info [ "model" ]
+        ~doc:
+          "Power model: $(b,kim-horowitz) (paper's discrete frequencies), \
+           $(b,continuous), or $(b,theory) (P_leak=0, P0=1, alpha=3).")
+
+let seed_t =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let n_t =
+  Arg.(
+    value & opt int 20
+    & info [ "n"; "count" ] ~doc:"Number of random communications.")
+
+let weight_t =
+  Arg.(
+    value
+    & opt (pair ~sep:',' float float) (100., 2500.)
+    & info [ "weights" ] ~docv:"LO,HI"
+        ~doc:"Uniform weight band in Mb/s (default 100,2500).")
+
+let file_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "file" ] ~docv:"PATH"
+        ~doc:"Read the instance from a problem file instead of drawing it.")
+
+let load_instance mesh seed n (lo, hi) file =
+  match file with
+  | Some path -> (
+      match Harness.Problem.parse_file path with
+      | Ok p -> Ok (p.Harness.Problem.mesh, p.comms)
+      | Error m -> Error m)
+  | None ->
+      let rng = Traffic.Rng.create seed in
+      let weight = Traffic.Workload.weight ~lo ~hi in
+      Ok (mesh, Traffic.Workload.uniform rng mesh ~n ~weight)
+
+(* ---------------- route ---------------- *)
+
+let route_cmd =
+  let heuristic_t =
+    Arg.(
+      value & opt string "all"
+      & info [ "heuristic" ]
+          ~doc:
+            "One of XY, SG, IG, TB, XYI, PR, $(b,all) (the paper's six), \
+             or the extensions SA (simulated annealing) and PRMP2/PRMP4 \
+             (multi-path path remover).")
+  in
+  let extended name =
+    match String.uppercase_ascii name with
+    | "SA" ->
+        Some
+          {
+            Routing.Heuristic.name = "SA";
+            description = "simulated annealing (reference)";
+            run = (fun model mesh comms -> Routing.Annealer.route mesh model comms);
+          }
+    | "PRMP2" | "PRMP4" ->
+        let s = if String.uppercase_ascii name = "PRMP2" then 2 else 4 in
+        Some
+          {
+            Routing.Heuristic.name = String.uppercase_ascii name;
+            description = "multi-path path remover";
+            run = (fun _model mesh comms -> Routing.Path_remover.route_multipath ~s mesh comms);
+          }
+    | _ -> None
+  in
+  let sim_t =
+    Arg.(
+      value & flag
+      & info [ "sim" ]
+          ~doc:"Validate the best feasible routing on the wormhole simulator.")
+  in
+  let verbose_t =
+    Arg.(value & flag & info [ "paths" ] ~doc:"Print the chosen paths.")
+  in
+  let heatmap_t =
+    Arg.(
+      value & flag
+      & info [ "heatmap" ]
+          ~doc:"Print an ASCII link-load map of the best feasible routing.")
+  in
+  let run mesh model seed n weights file heuristic sim paths heatmap =
+    match load_instance mesh seed n weights file with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok (mesh, comms) ->
+        Format.printf "%d communications on %a, %a@." (List.length comms)
+          Noc.Mesh.pp mesh Power.Model.pp model;
+        let heuristics =
+          if heuristic = "all" then Routing.Heuristic.all
+          else
+            match (Routing.Heuristic.find heuristic, extended heuristic) with
+            | Some h, _ -> [ h ]
+            | None, Some h -> [ h ]
+            | None, None ->
+                Printf.eprintf "unknown heuristic %s\n" heuristic;
+                exit 1
+        in
+        let outcomes = Routing.Best.run_all ~heuristics model mesh comms in
+        List.iter
+          (fun (o : Routing.Best.outcome) ->
+            Format.printf "%-4s %a@." o.heuristic.name
+              Routing.Evaluate.pp_report o.report;
+            if paths then
+              List.iter
+                (fun (r : Routing.Solution.route) ->
+                  List.iter
+                    (fun (p, share) ->
+                      Format.printf "      %g via %a@." share Noc.Path.pp p)
+                    r.paths)
+                (Routing.Solution.routes o.solution))
+          outcomes;
+        (match Routing.Best.best_of outcomes with
+        | Some best ->
+            Format.printf "BEST %s %a@." best.heuristic.name
+              Routing.Evaluate.pp_report best.report;
+            if heatmap then
+              print_string
+                (Harness.Render.heatmap
+                   ~capacity:model.Power.Model.capacity
+                   (Routing.Solution.loads best.solution));
+            if sim then begin
+              let v = Sim.Validate.run model best.solution in
+              Format.printf "%a@." Sim.Network.pp_report v.Sim.Validate.report;
+              Format.printf "sim verdict: %s@."
+                (if v.all_delivered then "all rates delivered"
+                 else "under-delivery detected")
+            end
+        | None -> Format.printf "BEST: no feasible routing found@.")
+  in
+  let term =
+    Term.(
+      const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t
+      $ heuristic_t $ sim_t $ verbose_t $ heatmap_t)
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Route an instance with the paper's heuristics")
+    term
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd =
+  let out_t =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Output problem file.")
+  in
+  let run mesh seed n weights out =
+    match load_instance mesh seed n weights None with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok (mesh, comms) ->
+        Harness.Problem.save out { Harness.Problem.mesh; comms };
+        Printf.printf "wrote %s (%d communications)\n" out (List.length comms)
+  in
+  let term = Term.(const run $ mesh_t $ seed_t $ n_t $ weight_t $ out_t) in
+  Cmd.v (Cmd.info "generate" ~doc:"Write a random problem file") term
+
+(* ---------------- figure ---------------- *)
+
+let figure_cmd =
+  let id_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FIGURE"
+          ~doc:"One of fig7a..fig7c, fig8a..fig8c, fig9a..fig9c, or all.")
+  in
+  let trials_t =
+    Arg.(
+      value & opt int 0
+      & info [ "trials" ]
+          ~doc:"Monte-Carlo trials per point (default: MANROUTE_TRIALS or 150).")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV files to DIR.")
+  in
+  let run id trials csv seed =
+    let figures =
+      if String.lowercase_ascii id = "all" then Harness.Figure.all
+      else
+        match Harness.Figure.find id with
+        | Some f -> [ f ]
+        | None ->
+            Printf.eprintf "unknown figure %s\n" id;
+            exit 1
+    in
+    let trials = if trials > 0 then Some trials else None in
+    let acc = Harness.Summary.create () in
+    List.iter
+      (fun figure ->
+        let r = Harness.Runner.run ?trials ~seed ~summary:acc figure in
+        Format.printf "%a@." Harness.Render.pp_result r;
+        match csv with
+        | Some dir ->
+            let path = Harness.Render.write_csv ~dir r in
+            Format.printf "csv: %s@.@." path
+        | None -> Format.printf "@.")
+      figures;
+    Format.printf "%a@." Harness.Summary.pp (Harness.Summary.finalize acc)
+  in
+  let term = Term.(const run $ id_t $ trials_t $ csv_t $ seed_t) in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Reproduce a simulation figure of the paper")
+    term
+
+(* ---------------- pattern ---------------- *)
+
+let pattern_cmd =
+  let name_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PATTERN"
+          ~doc:
+            "One of transpose, bit-complement, bit-reverse, shuffle, \
+             tornado, neighbor.")
+  in
+  let rate_t =
+    Arg.(
+      value & opt float 450.
+      & info [ "rate" ] ~doc:"Per-flow bandwidth in Mb/s.")
+  in
+  let heatmap_t =
+    Arg.(value & flag & info [ "heatmap" ] ~doc:"Print load heatmaps.")
+  in
+  let run mesh model name rate heatmap =
+    match Traffic.Patterns.find name with
+    | None ->
+        Printf.eprintf "unknown pattern %s\n" name;
+        exit 1
+    | Some pattern ->
+        if not (Traffic.Patterns.is_applicable pattern mesh) then begin
+          Format.printf "%s does not apply to %a@."
+            (Traffic.Patterns.name pattern)
+            Noc.Mesh.pp mesh;
+          exit 1
+        end;
+        let comms = Traffic.Patterns.communications pattern ~rate mesh in
+        Format.printf "%s on %a: %d flows at %g Mb/s@."
+          (Traffic.Patterns.name pattern)
+          Noc.Mesh.pp mesh (List.length comms) rate;
+        List.iter
+          (fun (o : Routing.Best.outcome) ->
+            Format.printf "  %-4s %a@." o.heuristic.name
+              Routing.Evaluate.pp_report o.report;
+            if heatmap && o.report.Routing.Evaluate.feasible then
+              print_string
+                (Harness.Render.heatmap ~capacity:model.Power.Model.capacity
+                   (Routing.Solution.loads o.solution)))
+          (Routing.Best.run_all model mesh comms)
+  in
+  let term = Term.(const run $ mesh_t $ model_t $ name_t $ rate_t $ heatmap_t) in
+  Cmd.v
+    (Cmd.info "pattern" ~doc:"Route a classical NoC traffic pattern")
+    term
+
+(* ---------------- theory ---------------- *)
+
+let theory_cmd =
+  let run () =
+    let pxy, p1, p2 = Theory.Example_fig2.powers () in
+    Format.printf "Figure 2 example: P_XY=%g P_1MP=%g P_2MP=%g@.@." pxy p1 p2;
+    Format.printf "Lemma 1 path counts (p x p):@.";
+    List.iter
+      (fun p ->
+        Format.printf "  %2dx%-2d %d@." p p
+          (Theory.Counting.grid_paths ~rows:p ~cols:p))
+      [ 2; 4; 8; 12 ];
+    let model = Power.Model.theory () in
+    Format.printf "@.Theorem 1 construction (single src/dst, square CMP):@.";
+    List.iter
+      (fun p' ->
+        Format.printf "  p=%-3d P_XY/P_maxMP = %.2f (ratio/p = %.3f)@." (2 * p')
+          (Theory.Construction_thm1.ratio model ~p' ~total:1.)
+          (Theory.Construction_thm1.ratio model ~p' ~total:1.
+          /. float_of_int (2 * p')))
+      [ 2; 4; 8; 16; 32 ];
+    Format.printf "@.Lemma 2 instance (1-MP worst case, alpha=3):@.";
+    List.iter
+      (fun p' ->
+        Format.printf "  p=%-3d P_XY/P_YX = %.2f (ratio/p^2 = %.3f)@." (p' + 1)
+          (Theory.Construction_lem2.ratio model ~p')
+          (Theory.Construction_lem2.ratio model ~p'
+          /. float_of_int (p' * p')))
+      [ 4; 8; 16; 32 ];
+    Format.printf "@.NP gadget (Theorem 3) on 2-partition {3,5,4,2}:@.";
+    let values = [| 3; 5; 4; 2 |] in
+    let s = Theory.Np_gadget.min_s values in
+    let g = Theory.Np_gadget.build ~s values in
+    (match Theory.Np_gadget.find_partition values with
+    | Some subset ->
+        let sol = Theory.Np_gadget.solution_of_partition g subset in
+        let r = Routing.Evaluate.solution (Theory.Np_gadget.model g) sol in
+        Format.printf
+          "  s=%d, CMP 2x%d, BW=%g: partition found, witness feasible=%b@." s
+          (Noc.Mesh.cols g.Theory.Np_gadget.mesh)
+          g.Theory.Np_gadget.bandwidth r.Routing.Evaluate.feasible
+    | None -> Format.printf "  no partition@.")
+  in
+  Cmd.v
+    (Cmd.info "theory" ~doc:"Print the Section 4 theory artifacts")
+    Term.(const run $ const ())
+
+(* ---------------- optimal ---------------- *)
+
+let optimal_cmd =
+  let run mesh model seed n weights file =
+    match load_instance mesh seed n weights file with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok (mesh, comms) ->
+        Format.printf "exact 1-MP search on %a, %d communications@."
+          Noc.Mesh.pp mesh (List.length comms);
+        (match Optim.Exact.route model mesh comms with
+        | Optim.Exact.Optimal (_, p) ->
+            Format.printf "optimal 1-MP power: %.3f mW@." p;
+            List.iter
+              (fun (o : Routing.Best.outcome) ->
+                match o.report.Routing.Evaluate.feasible with
+                | true ->
+                    Format.printf "  %-4s %.3f mW (gap %+.1f%%)@."
+                      o.heuristic.name o.report.total_power
+                      (100. *. (o.report.total_power -. p) /. p)
+                | false -> Format.printf "  %-4s failed@." o.heuristic.name)
+              (Routing.Best.run_all model mesh comms)
+        | Optim.Exact.Infeasible ->
+            Format.printf "instance proved infeasible for 1-MP@."
+        | Optim.Exact.Truncated _ ->
+            Format.printf "search truncated; use a smaller instance@.");
+        let cont = Power.Model.kim_horowitz_continuous in
+        Format.printf "max-MP dynamic lower bound (Frank-Wolfe): %.3f mW@."
+          (Optim.Frank_wolfe.lower_bound cont mesh comms)
+  in
+  let term =
+    Term.(const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t)
+  in
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Exact 1-MP optimum vs heuristics on a small instance")
+    term
+
+let () =
+  let info =
+    Cmd.info "manroute" ~version:"1.0.0"
+      ~doc:"Power-aware Manhattan routing on chip multiprocessors"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            route_cmd; generate_cmd; figure_cmd; pattern_cmd; theory_cmd;
+            optimal_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/heuristic_tour.ml: Format Hashtbl List Noc Power Routing Traffic

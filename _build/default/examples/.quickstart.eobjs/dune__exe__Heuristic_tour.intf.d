@@ -1,0 +1,1 @@
+examples/heuristic_tour.mli:

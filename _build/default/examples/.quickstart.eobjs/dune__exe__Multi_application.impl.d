@@ -1,0 +1,1 @@
+examples/multi_application.ml: Format List Noc Power Routing Sim Traffic

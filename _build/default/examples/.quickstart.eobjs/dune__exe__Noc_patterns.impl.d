@@ -1,0 +1,1 @@
+examples/noc_patterns.ml: Format Harness List Noc Power Printf Routing Traffic

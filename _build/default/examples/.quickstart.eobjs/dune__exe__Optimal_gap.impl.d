@@ -1,0 +1,1 @@
+examples/optimal_gap.ml: Format Hashtbl List Noc Optim Power Routing Traffic

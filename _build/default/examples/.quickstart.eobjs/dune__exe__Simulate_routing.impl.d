@@ -1,0 +1,1 @@
+examples/simulate_routing.ml: Format List Noc Power Routing Sim Traffic

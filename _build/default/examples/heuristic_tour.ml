@@ -1,0 +1,54 @@
+(* A guided tour of the six routing policies on one instance, showing how
+   the constraint level changes the ranking (the paper's Section 6 story:
+   XYI shines while the problem is easy, PR takes over when it tightens).
+
+   Run with: dune exec examples/heuristic_tour.exe *)
+
+let tour ~label ~n ~weight =
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 7 in
+  let trials = 300 in
+  Format.printf "@.== %s: %d communications, weights U[%g, %g] ==@." label n
+    weight.Traffic.Workload.w_lo weight.Traffic.Workload.w_hi;
+  let succ = Hashtbl.create 8 and norm = Hashtbl.create 8 in
+  let names =
+    List.map (fun (h : Routing.Heuristic.t) -> h.name) Routing.Heuristic.all
+  in
+  List.iter
+    (fun name ->
+      Hashtbl.replace succ name 0;
+      Hashtbl.replace norm name 0.)
+    names;
+  for _ = 1 to trials do
+    let comms = Traffic.Workload.uniform rng mesh ~n ~weight in
+    let outcomes = Routing.Best.run_all model mesh comms in
+    match Routing.Best.best_of outcomes with
+    | None -> ()
+    | Some best ->
+        List.iter
+          (fun (o : Routing.Best.outcome) ->
+            if o.report.Routing.Evaluate.feasible then begin
+              Hashtbl.replace succ o.heuristic.name
+                (Hashtbl.find succ o.heuristic.name + 1);
+              Hashtbl.replace norm o.heuristic.name
+                (Hashtbl.find norm o.heuristic.name
+                +. (best.report.total_power /. o.report.total_power))
+            end)
+          outcomes
+  done;
+  List.iter
+    (fun name ->
+      Format.printf "  %-4s success %5.1f%%   normalized inverse power %.2f@."
+        name
+        (100. *. float_of_int (Hashtbl.find succ name) /. float_of_int trials)
+        (Hashtbl.find norm name /. float_of_int trials))
+    names
+
+let () =
+  Format.printf
+    "Normalized inverse power = mean of P_BEST / P_heuristic (0 on failure),@.";
+  Format.printf "exactly the metric plotted in the paper's Figures 7-9.@.";
+  tour ~label:"lightly constrained" ~n:15 ~weight:Traffic.Workload.small;
+  tour ~label:"moderately constrained" ~n:25 ~weight:Traffic.Workload.mixed;
+  tour ~label:"heavily constrained" ~n:12 ~weight:Traffic.Workload.big

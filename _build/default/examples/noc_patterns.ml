@@ -1,0 +1,49 @@
+(* Routing classical NoC traffic patterns.
+
+   Transpose and tornado are the canonical adversaries of dimension-ordered
+   routing: XY concentrates their flows on a few columns while Manhattan
+   heuristics spread them. This example routes each pattern, prints who
+   wins, and draws the load heatmaps of XY vs the best heuristic for the
+   transpose pattern.
+
+   Run with: dune exec examples/noc_patterns.exe *)
+
+let () =
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rate = 450. in
+  List.iter
+    (fun pattern ->
+      if Traffic.Patterns.is_applicable pattern mesh then begin
+        let comms = Traffic.Patterns.communications pattern ~rate mesh in
+        let xy = Routing.Evaluate.solution model (Routing.Xy.route mesh comms) in
+        let best = Routing.Best.route model mesh comms in
+        Format.printf "%-15s (%2d flows): XY %-12s BEST %s@."
+          (Traffic.Patterns.name pattern)
+          (List.length comms)
+          (if xy.Routing.Evaluate.feasible then
+             Printf.sprintf "%.0f mW" xy.total_power
+           else "fails")
+          (match best with
+          | Some b ->
+              Printf.sprintf "%.0f mW (%s)" b.report.Routing.Evaluate.total_power
+                b.heuristic.name
+          | None -> "fails")
+      end)
+    Traffic.Patterns.all;
+
+  let comms =
+    Traffic.Patterns.communications Traffic.Patterns.Transpose ~rate:700. mesh
+  in
+  Format.printf "@.transpose at 700 Mb/s per flow (XY overloads, Manhattan fits):@.";
+  let xy = Routing.Xy.route mesh comms in
+  Format.printf "@.XY loads (%a):@.%s"
+    Routing.Evaluate.pp_report
+    (Routing.Evaluate.solution model xy)
+    (Harness.Render.heatmap (Routing.Solution.loads xy));
+  match Routing.Best.route model mesh comms with
+  | Some b ->
+      Format.printf "@.%s loads (%a):@.%s" b.heuristic.name
+        Routing.Evaluate.pp_report b.report
+        (Harness.Render.heatmap (Routing.Solution.loads b.solution))
+  | None -> Format.printf "no heuristic routes it@."

@@ -1,0 +1,52 @@
+(* Quickstart: route a handful of communications on an 8x8 CMP and compare
+   XY with the best Manhattan heuristic.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* The platform: an 8x8 mesh with the paper's link power model
+     (P_leak = 16.9 mW, P0 = 5.41, alpha = 2.95, discrete frequencies
+     {1, 2.5, 3.5} Gb/s, BW = 3500 Mb/s). *)
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+
+  (* The workload: four communications, in Mb/s. Two of them share the
+     corner-to-corner quadrant and would overload the XY route. *)
+  let core row col = Noc.Coord.make ~row ~col in
+  let comm id src snk rate = Traffic.Communication.make ~id ~src ~snk ~rate in
+  let comms =
+    [
+      comm 0 (core 1 1) (core 5 5) 2000.;
+      comm 1 (core 1 1) (core 5 5) 2000.;
+      comm 2 (core 2 7) (core 7 2) 1500.;
+      comm 3 (core 8 1) (core 1 8) 900.;
+    ]
+  in
+
+  (* XY stacks the first two communications on the same links: 4000 Mb/s
+     offered on 3500 Mb/s links, no valid frequency exists. *)
+  let xy = Routing.Xy.route mesh comms in
+  Format.printf "XY   : %a@." Routing.Evaluate.pp_report
+    (Routing.Evaluate.solution model xy);
+
+  (* Manhattan routing has (many) other shortest paths to choose from. *)
+  List.iter
+    (fun (o : Routing.Best.outcome) ->
+      Format.printf "%-5s: %a@." o.heuristic.name Routing.Evaluate.pp_report
+        o.report)
+    (Routing.Best.run_all ~heuristics:Routing.Heuristic.manhattan model mesh
+       comms);
+
+  (* BEST = cheapest feasible solution across all heuristics. *)
+  match Routing.Best.route model mesh comms with
+  | Some best ->
+      Format.printf "@.BEST is %s with %.1f mW; its routes:@."
+        best.heuristic.name best.report.total_power;
+      List.iter
+        (fun (r : Routing.Solution.route) ->
+          List.iter
+            (fun (p, share) ->
+              Format.printf "  %4.0f Mb/s via %a@." share Noc.Path.pp p)
+            r.paths)
+        (Routing.Solution.routes best.solution)
+  | None -> Format.printf "no feasible routing found@."

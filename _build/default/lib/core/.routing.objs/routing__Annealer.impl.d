@@ -1,0 +1,1 @@
+lib/core/annealer.ml: Array Evaluate Float Hashtbl Noc Power Simple_greedy Solution Traffic Xy_improver

@@ -1,0 +1,1 @@
+lib/core/annealer.mli: Noc Power Solution Traffic

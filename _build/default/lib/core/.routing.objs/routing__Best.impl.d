@@ -1,0 +1,1 @@
+lib/core/best.ml: Evaluate Heuristic List Solution

@@ -1,0 +1,1 @@
+lib/core/best.mli: Evaluate Heuristic Noc Power Solution Traffic

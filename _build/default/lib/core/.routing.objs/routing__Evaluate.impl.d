@@ -1,0 +1,1 @@
+lib/core/evaluate.ml: Float Format List Noc Power Solution Traffic

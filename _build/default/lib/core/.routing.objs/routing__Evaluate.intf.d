@@ -1,0 +1,1 @@
+lib/core/evaluate.mli: Format Noc Power Solution

@@ -1,0 +1,1 @@
+lib/core/heuristic.ml: Improved_greedy List Noc Path_remover Power Simple_greedy Solution String Traffic Two_bend Xy Xy_improver

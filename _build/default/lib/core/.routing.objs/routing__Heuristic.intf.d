@@ -1,0 +1,1 @@
+lib/core/heuristic.mli: Noc Power Solution Traffic

@@ -1,0 +1,1 @@
+lib/core/improved_greedy.ml: Array Float List Noc Power Solution Traffic

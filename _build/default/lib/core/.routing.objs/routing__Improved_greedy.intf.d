@@ -1,0 +1,1 @@
+lib/core/improved_greedy.mli: Noc Power Solution Traffic

@@ -1,0 +1,1 @@
+lib/core/multipath.ml: Array Heuristic List Noc Power Solution Traffic

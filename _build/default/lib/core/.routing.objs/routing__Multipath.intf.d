@@ -1,0 +1,1 @@
+lib/core/multipath.mli: Heuristic Noc Power Solution Traffic

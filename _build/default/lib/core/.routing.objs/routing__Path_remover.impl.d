@@ -1,0 +1,1 @@
+lib/core/path_remover.ml: Array Float Fun Hashtbl List Noc Solution Traffic

@@ -1,0 +1,1 @@
+lib/core/path_remover.mli: Noc Solution Traffic

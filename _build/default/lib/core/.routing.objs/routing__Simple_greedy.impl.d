@@ -1,0 +1,1 @@
+lib/core/simple_greedy.ml: Array List Noc Solution Traffic

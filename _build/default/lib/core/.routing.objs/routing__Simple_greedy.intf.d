@@ -1,0 +1,1 @@
+lib/core/simple_greedy.mli: Noc Solution Traffic

@@ -1,0 +1,1 @@
+lib/core/solution.ml: Array Float Format List Noc Printf Traffic

@@ -1,0 +1,1 @@
+lib/core/tables.ml: Array Format Hashtbl Int List Map Noc Option Printf Solution Traffic

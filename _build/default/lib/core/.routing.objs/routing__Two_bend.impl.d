@@ -1,0 +1,1 @@
+lib/core/two_bend.ml: Array List Noc Power Solution Traffic

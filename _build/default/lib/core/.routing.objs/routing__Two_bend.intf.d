@@ -1,0 +1,1 @@
+lib/core/two_bend.mli: Noc Power Solution Traffic

@@ -1,0 +1,1 @@
+lib/core/xy.ml: List Noc Solution Traffic

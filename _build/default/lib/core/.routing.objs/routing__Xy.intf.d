@@ -1,0 +1,1 @@
+lib/core/xy.mli: Noc Solution Traffic

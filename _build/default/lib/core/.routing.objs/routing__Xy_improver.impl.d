@@ -1,0 +1,1 @@
+lib/core/xy_improver.ml: Array Float Hashtbl List Noc Power Solution Traffic

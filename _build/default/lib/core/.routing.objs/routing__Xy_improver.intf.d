@@ -1,0 +1,1 @@
+lib/core/xy_improver.mli: Noc Power Solution Traffic

@@ -1,0 +1,116 @@
+(* Cost change of replacing [old_p] by [new_p] for [rate] units. *)
+let move_delta model loads rate old_p new_p =
+  let mesh = Noc.Load.mesh loads in
+  let changes = Hashtbl.create 32 in
+  let bump sign l =
+    let id = Noc.Mesh.link_id mesh l in
+    let d = try Hashtbl.find changes id with Not_found -> 0. in
+    Hashtbl.replace changes id (d +. (sign *. rate))
+  in
+  Noc.Path.iter_links old_p (bump (-1.));
+  Noc.Path.iter_links new_p (bump 1.);
+  Hashtbl.fold
+    (fun id d acc ->
+      if Float.abs d < 1e-12 then acc
+      else
+        let before = Noc.Load.get loads id in
+        acc
+        +. Power.Model.penalized_cost model (before +. d)
+        -. Power.Model.penalized_cost model before)
+    changes 0.
+
+(* A local mutation: divert the path around one of its random links; falls
+   back to a fresh random path when the geometry offers no diversion. *)
+let mutate rng (comm : Traffic.Communication.t) path =
+  let links = Noc.Path.links path in
+  let fresh () =
+    Noc.Path.random
+      ~choose:(Traffic.Rng.int rng)
+      ~src:comm.src ~snk:comm.snk
+  in
+  if Array.length links = 0 then fresh ()
+  else if Traffic.Rng.bool rng then fresh ()
+  else
+    let l = links.(Traffic.Rng.int rng (Array.length links)) in
+    match Xy_improver.divert path l with Some p -> p | None -> fresh ()
+
+let anneal rng mesh model comms ~iterations ~t_start ~t_end =
+  let comms = Array.of_list comms in
+  let nc = Array.length comms in
+  (* Start from the simple greedy solution: cheap and usually decent. *)
+  let start = Simple_greedy.route mesh (Array.to_list comms) in
+  let paths = Array.make nc (Noc.Path.xy ~src:comms.(0).src ~snk:comms.(0).snk) in
+  Array.iteri
+    (fun i c ->
+      match Solution.path_of start c with
+      | Some p -> paths.(i) <- p
+      | None -> assert false)
+    comms;
+  let loads = Solution.loads start in
+  let cost = ref (Evaluate.penalized model loads) in
+  (* Temperature scale: a feasibility-independent power magnitude (the
+     initial state may carry huge overload penalties that would melt the
+     schedule into a random walk). *)
+  let scale =
+    Float.max 1e-9
+      (Array.fold_left
+         (fun acc (c : Traffic.Communication.t) ->
+           acc
+           +. float_of_int (Traffic.Communication.length c)
+              *. Power.Model.penalized_cost model
+                   (Float.min c.rate model.Power.Model.capacity))
+         0. comms)
+  in
+  let best_paths = Array.copy paths and best_cost = ref !cost in
+  let t0 = t_start *. scale and t1 = t_end *. scale in
+  let decay =
+    if iterations <= 1 then 1.
+    else Float.pow (t1 /. t0) (1. /. float_of_int (iterations - 1))
+  in
+  let temp = ref t0 in
+  for _ = 1 to iterations do
+    let i = Traffic.Rng.int rng nc in
+    let proposal = mutate rng comms.(i) paths.(i) in
+    if not (Noc.Path.equal proposal paths.(i)) then begin
+      let rate = comms.(i).Traffic.Communication.rate in
+      let delta = move_delta model loads rate paths.(i) proposal in
+      let accept =
+        delta <= 0.
+        || Traffic.Rng.float rng < Float.exp (-.delta /. !temp)
+      in
+      if accept then begin
+        Noc.Load.remove_path loads paths.(i) rate;
+        Noc.Load.add_path loads proposal rate;
+        paths.(i) <- proposal;
+        cost := !cost +. delta;
+        if !cost < !best_cost then begin
+          best_cost := !cost;
+          Array.blit paths 0 best_paths 0 nc
+        end
+      end
+    end;
+    temp := !temp *. decay
+  done;
+  (!best_cost, best_paths, comms)
+
+let route ?(seed = 1) ?(iterations = 60_000) ?(restarts = 3) ?(t_start = 0.02)
+    ?(t_end = 1e-4) mesh model comms =
+  if comms = [] then Solution.make mesh []
+  else begin
+    let rng = Traffic.Rng.create seed in
+    let best = ref None in
+    for _ = 1 to max 1 restarts do
+      let run_rng = Traffic.Rng.split rng in
+      let cost, paths, carr =
+        anneal run_rng mesh model comms ~iterations ~t_start ~t_end
+      in
+      match !best with
+      | Some (c, _, _) when c <= cost -> ()
+      | _ -> best := Some (cost, paths, carr)
+    done;
+    match !best with
+    | Some (_, paths, carr) ->
+        Solution.make mesh
+          (Array.to_list (Array.map2 Solution.route_single carr paths))
+    | None -> assert false
+  end

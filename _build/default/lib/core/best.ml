@@ -1,0 +1,28 @@
+type outcome = {
+  heuristic : Heuristic.t;
+  solution : Solution.t;
+  report : Evaluate.report;
+}
+
+let run_all ?(heuristics = Heuristic.all) model mesh comms =
+  List.map
+    (fun (h : Heuristic.t) ->
+      let solution = h.run model mesh comms in
+      { heuristic = h; solution; report = Evaluate.solution model solution })
+    heuristics
+
+let best_of outcomes =
+  List.fold_left
+    (fun best o ->
+      if not o.report.Evaluate.feasible then best
+      else
+        match best with
+        | Some b
+          when b.report.Evaluate.total_power <= o.report.Evaluate.total_power
+          ->
+            best
+        | _ -> Some o)
+    None outcomes
+
+let route ?heuristics model mesh comms =
+  best_of (run_all ?heuristics model mesh comms)

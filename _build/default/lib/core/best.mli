@@ -1,0 +1,27 @@
+(** The virtual BEST heuristic: run every policy, keep the cheapest feasible
+    solution — exactly how the paper's plots define BEST. *)
+
+type outcome = {
+  heuristic : Heuristic.t;
+  solution : Solution.t;
+  report : Evaluate.report;
+}
+
+val run_all :
+  ?heuristics:Heuristic.t list ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  outcome list
+(** One outcome per heuristic (default: all six), in registry order. *)
+
+val best_of : outcome list -> outcome option
+(** Feasible outcome of minimum total power, if any. *)
+
+val route :
+  ?heuristics:Heuristic.t list ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  outcome option
+(** [best_of (run_all ...)]. *)

@@ -1,0 +1,81 @@
+type report = {
+  feasible : bool;
+  total_power : float;
+  static_power : float;
+  dynamic_power : float;
+  active_links : int;
+  max_load : float;
+  overloaded : (Noc.Mesh.link * float) list;
+}
+
+let of_loads model loads =
+  let mesh = Noc.Load.mesh loads in
+  let static = ref 0. and dynamic = ref 0. and active = ref 0 in
+  let max_load = ref 0. and overloaded = ref [] in
+  Noc.Load.iter
+    (fun id load ->
+      if load > 0. then begin
+        incr active;
+        if load > !max_load then max_load := load;
+        match Power.Model.required_frequency model load with
+        | Some f ->
+            static := !static +. model.Power.Model.p_leak;
+            dynamic := !dynamic +. Power.Model.dynamic_power model f
+        | None ->
+            overloaded := (Noc.Mesh.link_of_id mesh id, load) :: !overloaded
+      end)
+    loads;
+  let overloaded =
+    List.sort (fun (_, a) (_, b) -> Float.compare b a) !overloaded
+  in
+  let feasible = overloaded = [] in
+  {
+    feasible;
+    total_power = (if feasible then !static +. !dynamic else infinity);
+    static_power = !static;
+    dynamic_power = !dynamic;
+    active_links = !active;
+    max_load = !max_load;
+    overloaded;
+  }
+
+let solution model s = of_loads model (Solution.loads s)
+
+let power model s =
+  let r = solution model s in
+  if r.feasible then Some r.total_power else None
+
+let power_exn model s =
+  match power model s with
+  | Some p -> p
+  | None -> invalid_arg "Evaluate.power_exn: infeasible solution"
+
+(* Power per unit of delivered bandwidth: mW per Mb/s of requested
+   traffic, i.e. (up to units) energy per bit. *)
+let power_per_rate model s =
+  let r = solution model s in
+  if not r.feasible then None
+  else
+    let demand =
+      List.fold_left
+        (fun acc (route : Solution.route) ->
+          acc +. route.comm.Traffic.Communication.rate)
+        0. (Solution.routes s)
+    in
+    if demand <= 0. then None else Some (r.total_power /. demand)
+
+let penalized model loads =
+  Noc.Load.fold
+    (fun _ load acc -> acc +. Power.Model.penalized_cost model load)
+    loads 0.
+
+let pp_report ppf r =
+  if r.feasible then
+    Format.fprintf ppf
+      "feasible: P=%.3f mW (static %.3f + dynamic %.3f), %d active links, \
+       max load %g"
+      r.total_power r.static_power r.dynamic_power r.active_links r.max_load
+  else
+    Format.fprintf ppf "INFEASIBLE: %d overloaded links, max load %g"
+      (List.length r.overloaded)
+      r.max_load

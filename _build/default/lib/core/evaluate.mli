@@ -1,0 +1,40 @@
+(** Power and feasibility evaluation of routing solutions.
+
+    A solution is {e valid} when no link load exceeds the model's capacity;
+    its power is the sum over active links of leakage plus dynamic power at
+    the required (possibly quantized) frequency. *)
+
+type report = {
+  feasible : bool;
+  total_power : float;
+      (** [static +. dynamic] when feasible; [infinity] otherwise. *)
+  static_power : float;  (** [P_leak * active_links] (feasible case). *)
+  dynamic_power : float;
+  active_links : int;  (** Links with a strictly positive load. *)
+  max_load : float;
+  overloaded : (Noc.Mesh.link * float) list;
+      (** Capacity violations, by decreasing load; empty iff feasible. *)
+}
+
+val of_loads : Power.Model.t -> Noc.Load.t -> report
+(** Evaluate a load vector directly. *)
+
+val solution : Power.Model.t -> Solution.t -> report
+
+val power : Power.Model.t -> Solution.t -> float option
+(** Total power when the solution is feasible. *)
+
+val power_exn : Power.Model.t -> Solution.t -> float
+(** @raise Invalid_argument on an infeasible solution. *)
+
+val power_per_rate : Power.Model.t -> Solution.t -> float option
+(** Total power divided by the total requested bandwidth (mW per Mb/s) — an
+    energy-per-bit figure of merit; [None] on infeasible or empty
+    solutions. *)
+
+val penalized : Power.Model.t -> Noc.Load.t -> float
+(** Total {!Power.Model.penalized_cost} over all links — the surrogate
+    objective used by repair heuristics; equals the total power on feasible
+    load vectors. *)
+
+val pp_report : Format.formatter -> report -> unit

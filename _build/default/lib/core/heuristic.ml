@@ -1,0 +1,58 @@
+type t = {
+  name : string;
+  description : string;
+  run :
+    Power.Model.t ->
+    Noc.Mesh.t ->
+    Traffic.Communication.t list ->
+    Solution.t;
+}
+
+let xy =
+  {
+    name = "XY";
+    description = "dimension-ordered routing: horizontal first, then vertical";
+    run = (fun _model mesh comms -> Xy.route mesh comms);
+  }
+
+let sg =
+  {
+    name = "SG";
+    description = "simple greedy: hop-by-hop least-loaded link";
+    run = (fun _model mesh comms -> Simple_greedy.route mesh comms);
+  }
+
+let ig =
+  {
+    name = "IG";
+    description = "improved greedy: virtual pre-routing + per-step power bound";
+    run = (fun model mesh comms -> Improved_greedy.route mesh model comms);
+  }
+
+let tb =
+  {
+    name = "TB";
+    description = "two-bend: best among all <=2-bend routings";
+    run = (fun model mesh comms -> Two_bend.route mesh model comms);
+  }
+
+let xyi =
+  {
+    name = "XYI";
+    description = "XY improver: local diversions off the hottest links";
+    run = (fun model mesh comms -> Xy_improver.route mesh model comms);
+  }
+
+let pr =
+  {
+    name = "PR";
+    description = "path remover: prune the all-paths ideal spread to one path";
+    run = (fun _model mesh comms -> Path_remover.route mesh comms);
+  }
+
+let all = [ xy; sg; ig; tb; xyi; pr ]
+let manhattan = [ sg; ig; tb; xyi; pr ]
+
+let find name =
+  let name = String.uppercase_ascii name in
+  List.find_opt (fun h -> h.name = name) all

@@ -1,0 +1,33 @@
+(** Uniform registry of the single-path routing policies.
+
+    All six policies of the paper's Section 6 behind one signature, for the
+    simulation harness, the CLI and the benchmarks. Every policy returns a
+    solution unconditionally; whether it {e succeeded} is decided by
+    {!Evaluate.solution} (a policy "fails" on an instance when its solution
+    violates some link capacity, which is how the paper counts failures). *)
+
+type t = {
+  name : string;  (** Short name used in the paper's plots: XY, SG, ... *)
+  description : string;
+  run :
+    Power.Model.t ->
+    Noc.Mesh.t ->
+    Traffic.Communication.t list ->
+    Solution.t;
+}
+
+val xy : t
+val sg : t
+val ig : t
+val tb : t
+val xyi : t
+val pr : t
+
+val all : t list
+(** [xy; sg; ig; tb; xyi; pr] — the order used in the paper's legends. *)
+
+val manhattan : t list
+(** The five Manhattan heuristics (everything but XY). *)
+
+val find : string -> t option
+(** Case-insensitive lookup by {!field-name}. *)

@@ -1,0 +1,68 @@
+let preroute_shares (comm : Traffic.Communication.t) =
+  let rect = Traffic.Communication.rect comm in
+  let n = Noc.Rect.length rect in
+  List.concat
+    (List.init n (fun k ->
+         let links = Noc.Rect.links_on_step rect k in
+         let share =
+           comm.rate /. float_of_int (List.length links)
+         in
+         List.map (fun l -> (l, share)) links))
+
+let apply_preroute loads comm sign =
+  List.iter
+    (fun (l, share) -> Noc.Load.add_link loads l (sign *. share))
+    (preroute_shares comm)
+
+(* Cost of sending [rate] more through a link, on top of its current
+   (committed + virtual) load. Penalized so that the bound stays defined
+   when the instance is overloaded. *)
+let marginal model loads rate l =
+  Power.Model.penalized_cost model (Noc.Load.get_link loads l +. rate)
+
+let cheapest_step model loads rate rect k =
+  List.fold_left
+    (fun best l -> Float.min best (marginal model loads rate l))
+    infinity
+    (Noc.Rect.links_on_step rect k)
+
+let build_path model loads (comm : Traffic.Communication.t) =
+  let rect = Traffic.Communication.rect comm in
+  let n = Noc.Rect.length rect in
+  let rate = comm.rate in
+  (* Suffix bounds: remainder.(k) = sum over steps k..n-1 of the cheapest
+     per-step link cost; computed once, they do not depend on the branch
+     taken (the paper's relaxation ignores reachability). *)
+  let remainder = Array.make (n + 1) 0. in
+  for k = n - 1 downto 0 do
+    remainder.(k) <- remainder.(k + 1) +. cheapest_step model loads rate rect k
+  done;
+  let cores = Array.make (n + 1) comm.src in
+  for i = 0 to n - 1 do
+    let here = cores.(i) in
+    let next =
+      match Noc.Rect.out_links rect here with
+      | [ l ] -> l.Noc.Mesh.dst
+      | [ a; b ] ->
+          let bound l = marginal model loads rate l +. remainder.(i + 1) in
+          if bound a <= bound b then a.Noc.Mesh.dst else b.Noc.Mesh.dst
+      | _ -> assert false
+    in
+    cores.(i + 1) <- next
+  done;
+  Noc.Path.of_cores cores
+
+let route ?(order = Traffic.Communication.By_rate_desc) mesh model comms =
+  let loads = Noc.Load.create mesh in
+  let sorted = Traffic.Communication.sort order comms in
+  List.iter (fun comm -> apply_preroute loads comm 1.) sorted;
+  let routes =
+    List.map
+      (fun comm ->
+        apply_preroute loads comm (-1.);
+        let path = build_path model loads comm in
+        Noc.Load.add_path loads path comm.Traffic.Communication.rate;
+        Solution.route_single comm path)
+      sorted
+  in
+  Solution.make mesh routes

@@ -1,0 +1,19 @@
+(** The IG (improved greedy) heuristic — Section 5.2 of the paper.
+
+    Every communication is first {e pre-routed} virtually, its weight spread
+    uniformly over all links between consecutive diagonals of its bounding
+    rectangle (the Figure 3 ideal distribution). Communications are then
+    finalized by decreasing weight: the pre-routing of the current one is
+    withdrawn and a single path is built step by step, choosing at each fork
+    the link minimizing a lower bound on the power to reach the sink — the
+    candidate link's power plus, for every later diagonal step, the power of
+    the cheapest link of that step, all evaluated with the communication's
+    weight added on top of the committed and still-pre-routed loads. *)
+
+val route :
+  ?order:Traffic.Communication.order ->
+  Noc.Mesh.t ->
+  Power.Model.t ->
+  Traffic.Communication.t list ->
+  Solution.t
+(** Default order: [By_rate_desc]. The result may be infeasible. *)

@@ -1,0 +1,82 @@
+let split_evenly ~s (comm : Traffic.Communication.t) =
+  if s < 1 then invalid_arg "Multipath.split_evenly: s < 1";
+  let share = comm.rate /. float_of_int s in
+  List.init s (fun _ -> Traffic.Communication.with_rate comm ~rate:share)
+
+let route_split ~s ~base model mesh comms =
+  let parts = List.concat_map (split_evenly ~s) comms in
+  let part_solution = base.Heuristic.run model mesh parts in
+  (* Group the parts back by parent id and coalesce identical paths. *)
+  let routes =
+    List.map
+      (fun (comm : Traffic.Communication.t) ->
+        let shares =
+          List.concat_map
+            (fun (r : Solution.route) ->
+              if r.comm.Traffic.Communication.id = comm.id then r.paths
+              else [])
+            (Solution.routes part_solution)
+        in
+        let merged =
+          List.fold_left
+            (fun acc (p, share) ->
+              let rec add = function
+                | [] -> [ (p, share) ]
+                | (p', share') :: rest when Noc.Path.equal p p' ->
+                    (p', share' +. share) :: rest
+                | x :: rest -> x :: add rest
+              in
+              add acc)
+            [] shares
+        in
+        Solution.route_multi comm merged)
+      comms
+  in
+  Solution.make mesh routes
+
+let diagonal_lower_bound model mesh comms =
+  let p = Noc.Mesh.rows mesh and q = Noc.Mesh.cols mesh in
+  let n_diag = p + q - 1 in
+  (* traffic.(d-1).(k) = K^(d)_k; width.(d-1).(k) = links D_k -> D_k+1. *)
+  let traffic = Array.make_matrix 4 (n_diag + 1) 0. in
+  List.iter
+    (fun (c : Traffic.Communication.t) ->
+      let d = Traffic.Communication.quadrant c in
+      let k_src = Noc.Quadrant.diag_index ~rows:p ~cols:q d c.src in
+      let k_snk = Noc.Quadrant.diag_index ~rows:p ~cols:q d c.snk in
+      for k = k_src to k_snk - 1 do
+        let row = Noc.Quadrant.to_int d - 1 in
+        traffic.(row).(k) <- traffic.(row).(k) +. c.rate
+      done)
+    comms;
+  let width = Array.make_matrix 4 (n_diag + 1) 0 in
+  Array.iter
+    (fun core ->
+      List.iter
+        (fun d ->
+          let k = Noc.Quadrant.diag_index ~rows:p ~cols:q d core in
+          let rs = Noc.Quadrant.row_step d and cs = Noc.Quadrant.col_step d in
+          let row = Noc.Quadrant.to_int d - 1 in
+          let has_h =
+            let col = core.Noc.Coord.col + cs in
+            col >= 1 && col <= q
+          and has_v =
+            let r = core.Noc.Coord.row + rs in
+            r >= 1 && r <= p
+          in
+          let outs = (if has_h then 1 else 0) + if has_v then 1 else 0 in
+          width.(row).(k) <- width.(row).(k) + outs)
+        Noc.Quadrant.all)
+    (Noc.Mesh.all_cores mesh);
+  let total = ref 0. in
+  for d = 0 to 3 do
+    for k = 1 to n_diag do
+      let kt = traffic.(d).(k) and w = width.(d).(k) in
+      if kt > 0. && w > 0 then
+        total :=
+          !total
+          +. (float_of_int w
+             *. Power.Model.dynamic_power model (kt /. float_of_int w))
+    done
+  done;
+  !total

@@ -1,0 +1,36 @@
+(** Multi-path (s-MP) routing support.
+
+    An s-MP routing may split a communication into at most [s] parts sharing
+    its endpoints, each routed on its own Manhattan path (Section 3.3). The
+    paper's heuristics are single-path; splitting is listed as future work —
+    this module provides the splitting rule, a generic "split then route
+    with any single-path heuristic" combinator, and the diagonal ideal
+    spread used as a lower bound throughout Section 4. *)
+
+val split_evenly :
+  s:int -> Traffic.Communication.t -> Traffic.Communication.t list
+(** [s] parts of rate [rate/s], all carrying the parent's id.
+    @raise Invalid_argument if [s < 1]. *)
+
+val route_split :
+  s:int ->
+  base:Heuristic.t ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  Solution.t
+(** Split every communication into [s] even parts, route the parts with the
+    base single-path heuristic as if they were independent communications,
+    and merge the parts back into multi-path routes (duplicate paths of one
+    communication are coalesced, so the result is an s'-MP solution with
+    [s' <= s]). *)
+
+val diagonal_lower_bound :
+  Power.Model.t -> Noc.Mesh.t -> Traffic.Communication.t list -> float
+(** The paper's max-MP {e dynamic-power} lower bound (proofs of Theorems 1
+    and 2): for each direction [d] and each diagonal index [k], the traffic
+    [K{^(d)}{_k}] of the communications crossing that diagonal is spread
+    perfectly evenly over all [W] mesh links from [D{^(d)}{_k}] to
+    [D{^(d)}{_{k+1}}], contributing [W * P_dyn(K/W)]. Uses continuous
+    frequencies and no leakage regardless of the model's mode, and is a
+    valid lower bound on the dynamic power of {e any} Manhattan routing. *)

@@ -1,0 +1,314 @@
+(* Per-communication search state. Links of the bounding rectangle are held
+   in per-step slot arrays; reachability runs over flat boolean arrays
+   indexed by the core's row-offset within its diagonal step, so the hot
+   recompute path allocates nothing but small scratch arrays. *)
+
+type slot = {
+  id : int;  (* dense link id in the mesh *)
+  src_step : int;  (* diagonal step of the link's source core *)
+  src_pos : int;  (* row-offset index of the source within its step *)
+  dst_pos : int;  (* row-offset index of the destination in step+1 *)
+  mutable allowed : bool;
+}
+
+type cstate = {
+  comm : Traffic.Communication.t;
+  steps : slot array array;  (* steps.(k) = links from diagonal k to k+1 *)
+  alive_count : int array;  (* per step, number of allowed links *)
+  mutable single : bool;  (* every step down to one link *)
+  mutable finished : bool;  (* no more deletions wanted for this comm *)
+  (* scratch reachability buffers, one flag per core of each diagonal *)
+  fwd : bool array array;
+  bwd : bool array array;
+}
+
+let step_width rect k =
+  let drow = rect.Noc.Rect.drow and dcol = rect.Noc.Rect.dcol in
+  let lo = max 0 (k - dcol) and hi = min k drow in
+  if lo > hi then 0 else hi - lo + 1
+
+let core_pos rect k (c : Noc.Coord.t) =
+  let dr = abs (c.row - rect.Noc.Rect.src.Noc.Coord.row) in
+  dr - max 0 (k - rect.Noc.Rect.dcol)
+
+let make_state mesh comm =
+  let rect = Traffic.Communication.rect comm in
+  let n = Noc.Rect.length rect in
+  let steps =
+    Array.init n (fun k ->
+        Array.of_list
+          (List.map
+             (fun (l : Noc.Mesh.link) ->
+               {
+                 id = Noc.Mesh.link_id mesh l;
+                 src_step = k;
+                 src_pos = core_pos rect k l.src;
+                 dst_pos = core_pos rect (k + 1) l.dst;
+                 allowed = true;
+               })
+             (Noc.Rect.links_on_step rect k)))
+  in
+  {
+    comm;
+    steps;
+    alive_count = Array.map Array.length steps;
+    single = Array.for_all (fun s -> Array.length s = 1) steps;
+    finished = false;
+    fwd = Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) false);
+    bwd = Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) false);
+  }
+
+(* Recompute which allowed links still lie on a source-to-sink path; prune
+   the rest ("path cleaning"). Returns false when no path survives — the
+   caller must then roll back its tentative deletion. *)
+let recompute st =
+  let n = Array.length st.steps in
+  let reset a = Array.iteri (fun i _ -> a.(i) <- false) a in
+  Array.iter reset st.fwd;
+  Array.iter reset st.bwd;
+  st.fwd.(0).(0) <- true;
+  for k = 0 to n - 1 do
+    Array.iter
+      (fun s ->
+        if s.allowed && st.fwd.(k).(s.src_pos) then
+          st.fwd.(k + 1).(s.dst_pos) <- true)
+      st.steps.(k)
+  done;
+  if not st.fwd.(n).(0) then false
+  else begin
+    st.bwd.(n).(0) <- true;
+    for k = n - 1 downto 0 do
+      Array.iter
+        (fun s ->
+          if s.allowed && st.bwd.(k + 1).(s.dst_pos) then
+            st.bwd.(k).(s.src_pos) <- true)
+        st.steps.(k)
+    done;
+    st.single <- true;
+    for k = 0 to n - 1 do
+      let count = ref 0 in
+      Array.iter
+        (fun s ->
+          if s.allowed then
+            if st.fwd.(k).(s.src_pos) && st.bwd.(k + 1).(s.dst_pos) then
+              incr count
+            else s.allowed <- false)
+        st.steps.(k);
+      st.alive_count.(k) <- !count;
+      if !count > 1 then st.single <- false
+    done;
+    true
+  end
+
+let spread loads st sign =
+  let rate = st.comm.Traffic.Communication.rate in
+  Array.iteri
+    (fun k slots ->
+      let share = sign *. rate /. float_of_int st.alive_count.(k) in
+      Array.iter (fun s -> if s.allowed then Noc.Load.add loads s.id share) slots)
+    st.steps
+
+(* Number of surviving paths of a communication, saturating at [cap]. *)
+let path_count ?(cap = 1_000_000) st =
+  let n = Array.length st.steps in
+  if n = 0 then 1
+  else begin
+    let rect = Traffic.Communication.rect st.comm in
+    let cnt =
+      Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) 0)
+    in
+    cnt.(0).(0) <- 1;
+    for k = 0 to n - 1 do
+      Array.iter
+        (fun s ->
+          if s.allowed then
+            cnt.(k + 1).(s.dst_pos) <-
+              min cap (cnt.(k + 1).(s.dst_pos) + cnt.(k).(s.src_pos)))
+        st.steps.(k)
+    done;
+    cnt.(n).(0)
+  end
+
+(* Enumerate the surviving paths, depth first, at most [limit] of them. *)
+let surviving_paths ~limit mesh st =
+  let n = Array.length st.steps in
+  let results = ref [] and count = ref 0 in
+  let rec dfs k pos acc =
+    if !count >= limit then ()
+    else if k = n then begin
+      incr count;
+      results := Noc.Path.of_cores (Array.of_list (List.rev acc)) :: !results
+    end
+    else
+      Array.iter
+        (fun s ->
+          if s.allowed && s.src_pos = pos && !count < limit then
+            let dst = (Noc.Mesh.link_of_id mesh s.id).Noc.Mesh.dst in
+            dfs (k + 1) s.dst_pos (dst :: acc))
+        st.steps.(k)
+  in
+  dfs 0 0 [ st.comm.Traffic.Communication.src ];
+  List.rev !results
+
+let try_remove loads users st_idx st id =
+  let found = ref None in
+  Array.iter
+    (fun slots ->
+      Array.iter (fun s -> if s.id = id && s.allowed then found := Some s) slots)
+    st.steps;
+  match !found with
+  | None ->
+      Hashtbl.remove users.(id) st_idx;
+      false
+  | Some slot ->
+      spread loads st (-1.);
+      slot.allowed <- false;
+      if recompute st then begin
+        spread loads st 1.;
+        (* Refresh this state's user-index entries for links that died. *)
+        Array.iter
+          (fun slots ->
+            Array.iter
+              (fun s ->
+                if not s.allowed then Hashtbl.remove users.(s.id) st_idx)
+              slots)
+          st.steps;
+        true
+      end
+      else begin
+        (* A failed recompute bails out before pruning, so restoring the
+           one flag restores the exact previous alive set. Allowed sets
+           only ever shrink, so this deletion can never succeed later:
+           drop the pair from the candidacy index for good. *)
+        slot.allowed <- true;
+        spread loads st 1.;
+        Hashtbl.remove users.(id) st_idx;
+        false
+      end
+
+let extract_path loads st =
+  (* Cheapest surviving path by current loads (unique when finalized). *)
+  let rect = Traffic.Communication.rect st.comm in
+  let n = Array.length st.steps in
+  let cost = Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) infinity) in
+  let via : slot option array array =
+    Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) None)
+  in
+  cost.(n).(0) <- 0.;
+  for k = n - 1 downto 0 do
+    Array.iter
+      (fun s ->
+        if s.allowed then begin
+          let c = cost.(k + 1).(s.dst_pos) +. Noc.Load.get loads s.id in
+          if c < cost.(k).(s.src_pos) then begin
+            cost.(k).(s.src_pos) <- c;
+            via.(k).(s.src_pos) <- Some s
+          end
+        end)
+      st.steps.(k)
+  done;
+  let mesh_of_id = Noc.Load.mesh loads in
+  let cores = Array.make (n + 1) st.comm.Traffic.Communication.src in
+  let pos = ref 0 in
+  for k = 0 to n - 1 do
+    match via.(k).(!pos) with
+    | Some s ->
+        let link = Noc.Mesh.link_of_id mesh_of_id s.id in
+        cores.(k + 1) <- link.Noc.Mesh.dst;
+        pos := s.dst_pos
+    | None -> assert false
+  done;
+  Noc.Path.of_cores cores
+
+(* Core PR loop, parameterized by the per-communication stopping rule:
+   keep deleting links from the hottest down until [finished] holds for
+   every communication. *)
+let solve ~finished mesh comms =
+  let loads = Noc.Load.create mesh in
+  let states = Array.of_list (List.map (make_state mesh) comms) in
+  let users : (int, unit) Hashtbl.t array =
+    Array.init (Noc.Mesh.num_links mesh) (fun _ -> Hashtbl.create 4)
+  in
+  Array.iteri
+    (fun idx st ->
+      st.finished <- finished st;
+      spread loads st 1.;
+      Array.iter
+        (fun slots ->
+          Array.iter
+            (fun (s : slot) ->
+              if s.allowed then Hashtbl.replace users.(s.id) idx ())
+            slots)
+        st.steps)
+    states;
+  let order = Array.init (Array.length states) Fun.id in
+  Array.sort
+    (fun a b ->
+      Float.compare states.(b).comm.Traffic.Communication.rate
+        states.(a).comm.Traffic.Communication.rate)
+    order;
+  let remaining = ref 0 in
+  Array.iter (fun st -> if not st.finished then incr remaining) states;
+  let rec loop () =
+    if !remaining > 0 then begin
+      let candidate =
+        Array.find_opt
+          (fun id ->
+            Hashtbl.fold
+              (fun idx () acc -> acc || not states.(idx).finished)
+              users.(id) false)
+          (Noc.Load.sorted_ids loads)
+      in
+      match candidate with
+      | None -> () (* unreachable in theory; defensive stop *)
+      | Some id ->
+          let removed =
+            Array.exists
+              (fun idx ->
+                let st = states.(idx) in
+                (not st.finished)
+                && Hashtbl.mem users.(id) idx
+                && begin
+                     let ok = try_remove loads users idx st id in
+                     if ok then begin
+                       st.finished <- finished st;
+                       if st.finished then decr remaining
+                     end;
+                     ok
+                   end)
+              order
+          in
+          ignore removed;
+          loop ()
+    end
+  in
+  loop ();
+  (loads, states)
+
+let route mesh comms =
+  let loads, states = solve ~finished:(fun st -> st.single) mesh comms in
+  Solution.make mesh
+    (Array.to_list
+       (Array.map
+          (fun st -> Solution.route_single st.comm (extract_path loads st))
+          states))
+
+let route_multipath ~s mesh comms =
+  if s < 1 then invalid_arg "Path_remover.route_multipath: s < 1";
+  let finished st = st.single || path_count ~cap:(s + 1) st <= s in
+  let _loads, states = solve ~finished mesh comms in
+  Solution.make mesh
+    (Array.to_list
+       (Array.map
+          (fun st ->
+            match surviving_paths ~limit:s mesh st with
+            | [] -> assert false
+            | [ p ] -> Solution.route_single st.comm p
+            | paths ->
+                let share =
+                  st.comm.Traffic.Communication.rate
+                  /. float_of_int (List.length paths)
+                in
+                Solution.route_multi st.comm
+                  (List.map (fun p -> (p, share)) paths))
+          states))

@@ -1,0 +1,36 @@
+(** The PR (path remover) heuristic — Section 5.5 of the paper.
+
+    Every communication starts {e virtually} routed over all its Manhattan
+    paths, its weight spread uniformly across its alive links between
+    consecutive diagonals (the Figure 3 ideal distribution). Links are then
+    deleted one by one: take the globally most loaded link, and the largest
+    communication using it whose deletion does not disconnect its last
+    remaining path; delete the link from that communication, prune links
+    that can no longer lie on any of its surviving paths (path cleaning),
+    and respread its weight. When no communication can give up a given link
+    the link is skipped. The process ends when every communication is left
+    with exactly one path.
+
+    Path cleaning here is exact: after each deletion, a link survives for a
+    communication if and only if it still lies on some source-to-sink path
+    of that communication's remaining links (forward/backward reachability
+    over the diagonal-step DAG), which subsumes the local deletion rules
+    spelled out in the paper. *)
+
+val route :
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  Solution.t
+(** The result may be infeasible. Power constants play no role: PR only
+    balances loads, which is why the paper notes it "does not care about
+    static power". *)
+
+val route_multipath :
+  s:int ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  Solution.t
+(** Multi-path PR (the paper's "future work" heuristic): stop deleting a
+    communication's links as soon as at most [s] of its paths survive, and
+    split its rate evenly over them. [route] is the [s = 1] special case.
+    @raise Invalid_argument if [s < 1]. *)

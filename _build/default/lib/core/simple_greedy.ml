@@ -1,0 +1,44 @@
+(* Tie-break: distance of a core to the straight segment src-snk, measured
+   by the (absolute) cross product of (core - src) with (snk - src). *)
+let diagonal_deviation (comm : Traffic.Communication.t) (c : Noc.Coord.t) =
+  let dr = comm.snk.Noc.Coord.row - comm.src.Noc.Coord.row
+  and dc = comm.snk.Noc.Coord.col - comm.src.Noc.Coord.col in
+  abs
+    (((c.Noc.Coord.row - comm.src.Noc.Coord.row) * dc)
+    - ((c.Noc.Coord.col - comm.src.Noc.Coord.col) * dr))
+
+let build_path loads (comm : Traffic.Communication.t) =
+  let rect = Traffic.Communication.rect comm in
+  let n = Traffic.Communication.length comm in
+  let cores = Array.make (n + 1) comm.src in
+  for i = 0 to n - 1 do
+    let here = cores.(i) in
+    let next =
+      match Noc.Rect.out_links rect here with
+      | [ l ] -> l.Noc.Mesh.dst
+      | [ a; b ] ->
+          let la = Noc.Load.get_link loads a
+          and lb = Noc.Load.get_link loads b in
+          if la < lb then a.Noc.Mesh.dst
+          else if lb < la then b.dst
+          else if
+            diagonal_deviation comm a.dst <= diagonal_deviation comm b.dst
+          then a.dst
+          else b.dst
+      | _ -> assert false
+    in
+    cores.(i + 1) <- next
+  done;
+  Noc.Path.of_cores cores
+
+let route ?(order = Traffic.Communication.By_rate_desc) mesh comms =
+  let loads = Noc.Load.create mesh in
+  let routes =
+    List.map
+      (fun comm ->
+        let path = build_path loads comm in
+        Noc.Load.add_path loads path comm.Traffic.Communication.rate;
+        Solution.route_single comm path)
+      (Traffic.Communication.sort order comms)
+  in
+  Solution.make mesh routes

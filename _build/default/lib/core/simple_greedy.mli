@@ -1,0 +1,14 @@
+(** The SG (simple greedy) heuristic — Section 5.1 of the paper.
+
+    Communications are processed by decreasing weight; each path is built
+    hop by hop, always taking the less loaded of the (at most two) forward
+    links. A tie is broken toward the diagonal joining the source to the
+    sink, which keeps both axes available for as long as possible. *)
+
+val route :
+  ?order:Traffic.Communication.order ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  Solution.t
+(** Default order: [By_rate_desc] (the paper's choice). The result may be
+    infeasible. *)

@@ -1,0 +1,88 @@
+type route = {
+  comm : Traffic.Communication.t;
+  paths : (Noc.Path.t * float) list;
+}
+
+type t = { mesh : Noc.Mesh.t; routes : route list }
+
+let check_endpoints comm path =
+  if
+    not
+      (Noc.Coord.equal (Noc.Path.src path) comm.Traffic.Communication.src
+      && Noc.Coord.equal (Noc.Path.snk path) comm.Traffic.Communication.snk)
+  then
+    invalid_arg
+      (Format.asprintf "Solution: path %a does not join %a" Noc.Path.pp path
+         Traffic.Communication.pp comm)
+
+let route_single comm path =
+  check_endpoints comm path;
+  { comm; paths = [ (path, comm.Traffic.Communication.rate) ] }
+
+let route_multi comm paths =
+  if paths = [] then invalid_arg "Solution.route_multi: no path";
+  List.iter
+    (fun (p, share) ->
+      check_endpoints comm p;
+      if share <= 0. then invalid_arg "Solution.route_multi: share <= 0")
+    paths;
+  let total = List.fold_left (fun s (_, x) -> s +. x) 0. paths in
+  let rate = comm.Traffic.Communication.rate in
+  if Float.abs (total -. rate) > 1e-6 *. Float.max 1. rate then
+    invalid_arg
+      (Printf.sprintf "Solution.route_multi: shares sum to %g, rate is %g"
+         total rate);
+  { comm; paths }
+
+let make mesh routes =
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (p, _) ->
+          Array.iter
+            (fun c ->
+              if not (Noc.Mesh.in_mesh mesh c) then
+                invalid_arg
+                  (Format.asprintf "Solution.make: core %a outside %a"
+                     Noc.Coord.pp c Noc.Mesh.pp mesh))
+            (Noc.Path.cores p))
+        r.paths)
+    routes;
+  { mesh; routes }
+
+let mesh t = t.mesh
+let routes t = t.routes
+
+let num_paths t =
+  List.fold_left (fun n r -> n + List.length r.paths) 0 t.routes
+
+let max_paths_per_comm t =
+  List.fold_left (fun m r -> max m (List.length r.paths)) 0 t.routes
+
+let loads t =
+  let loads = Noc.Load.create t.mesh in
+  List.iter
+    (fun r ->
+      List.iter (fun (p, share) -> Noc.Load.add_path loads p share) r.paths)
+    t.routes;
+  loads
+
+let path_of t comm =
+  List.find_map
+    (fun r ->
+      if Traffic.Communication.equal r.comm comm then
+        match r.paths with [ (p, _) ] -> Some p | _ -> None
+      else None)
+    t.routes
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>solution on %a:@," Noc.Mesh.pp t.mesh;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %a:@," Traffic.Communication.pp r.comm;
+      List.iter
+        (fun (p, share) ->
+          Format.fprintf ppf "    %g via %a@," share Noc.Path.pp p)
+        r.paths)
+    t.routes;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Routing solutions.
+
+    A solution assigns every communication one or more weighted Manhattan
+    paths. Single-path rules (XY, 1-MP heuristics) use exactly one path per
+    communication; [s]-MP rules split a communication into at most [s] parts
+    that share its endpoints. *)
+
+type route = private {
+  comm : Traffic.Communication.t;
+  paths : (Noc.Path.t * float) list;
+      (** Non-empty; each path carries the given rate share; the shares sum
+          to [comm.rate] and every path joins [comm.src] to [comm.snk]. *)
+}
+
+type t = private { mesh : Noc.Mesh.t; routes : route list }
+
+val route_single : Traffic.Communication.t -> Noc.Path.t -> route
+(** @raise Invalid_argument if the path endpoints differ from the
+    communication's. *)
+
+val route_multi :
+  Traffic.Communication.t -> (Noc.Path.t * float) list -> route
+(** @raise Invalid_argument on empty lists, endpoint mismatches,
+    non-positive shares, or shares not summing to the rate (1e-6 relative
+    tolerance). *)
+
+val make : Noc.Mesh.t -> route list -> t
+(** @raise Invalid_argument if some path leaves the mesh. *)
+
+val mesh : t -> Noc.Mesh.t
+val routes : t -> route list
+
+val num_paths : t -> int
+(** Total number of (communication, path) pairs. *)
+
+val max_paths_per_comm : t -> int
+(** The [s] for which this is an s-MP solution (1 for single-path). *)
+
+val loads : t -> Noc.Load.t
+(** Link loads induced by the solution. *)
+
+val path_of : t -> Traffic.Communication.t -> Noc.Path.t option
+(** The unique path of a communication in a single-path solution; [None] if
+    the communication is absent or split. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+(** Forwarding tables for table-based routing.
+
+    The paper envisions a table-driven system: once the routing is decided,
+    each router holds entries telling every transiting communication which
+    output port to take. This module compiles a single-path solution into
+    per-core tables, can walk them (the check a router implementation would
+    perform), and measures whether the solution could use cheaper
+    destination-indexed tables instead of per-flow entries. *)
+
+type port =
+  | Eject  (** The communication terminates at this core. *)
+  | Forward of Noc.Mesh.step  (** Send through the given output link. *)
+
+type t
+
+val compile : Solution.t -> (t, string) result
+(** Per-core, per-communication forwarding entries. Fails with a message on
+    multi-path routes (they need per-packet path selection, not a static
+    table) or on duplicate communication ids. *)
+
+val compile_exn : Solution.t -> t
+(** @raise Invalid_argument on the same conditions. *)
+
+val lookup : t -> core:Noc.Coord.t -> comm_id:int -> port option
+(** The entry a router consults when a flit of [comm_id] arrives. *)
+
+val entries_at : t -> Noc.Coord.t -> (int * port) list
+(** All entries of one router, sorted by communication id. *)
+
+val total_entries : t -> int
+(** Total table occupancy across the chip (one entry per communication per
+    traversed core, ejection included). *)
+
+val walk : t -> Traffic.Communication.t -> (Noc.Path.t, string) result
+(** Follow the tables from the communication's source: returns the path a
+    table-driven router network would realize, or an error if the tables
+    are inconsistent (missing entry, leaves the mesh, or does not
+    terminate at the sink within [p*q] hops). *)
+
+val destination_conflicts : t -> int
+(** Number of (core, destination) pairs for which two communications with
+    the same destination leave through different ports — zero means the
+    whole solution could be stored in destination-indexed tables of size
+    [O(cores)] per router instead of per-flow entries. XY solutions always
+    have zero; load-balancing heuristics usually do not. *)
+
+val pp : Format.formatter -> t -> unit
+(** One line per router with its entries. *)

@@ -1,0 +1,35 @@
+let added_cost model loads rate path =
+  Array.fold_left
+    (fun acc l ->
+      let before = Noc.Load.get_link loads l in
+      acc
+      +. Power.Model.penalized_cost model (before +. rate)
+      -. Power.Model.penalized_cost model before)
+    0. (Noc.Path.links path)
+
+let best_candidate model loads (comm : Traffic.Communication.t) =
+  let candidates = Noc.Path.two_bend_all ~src:comm.src ~snk:comm.snk in
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+      let cost = added_cost model loads comm.rate in
+      let best, _ =
+        List.fold_left
+          (fun (bp, bc) p ->
+            let c = cost p in
+            if c < bc then (p, c) else (bp, bc))
+          (first, cost first) rest
+      in
+      best
+
+let route ?(order = Traffic.Communication.By_rate_desc) mesh model comms =
+  let loads = Noc.Load.create mesh in
+  let routes =
+    List.map
+      (fun comm ->
+        let path = best_candidate model loads comm in
+        Noc.Load.add_path loads path comm.Traffic.Communication.rate;
+        Solution.route_single comm path)
+      (Traffic.Communication.sort order comms)
+  in
+  Solution.make mesh routes

@@ -1,0 +1,14 @@
+(** The TB (two-bend) heuristic — Section 5.3 of the paper.
+
+    Communications are processed by decreasing weight; for each one, all
+    Manhattan routings with at most two bends (there are at most
+    [l_i = |du| + |dv|] of them) are evaluated and the one adding the least
+    power on top of the current loads is kept. *)
+
+val route :
+  ?order:Traffic.Communication.order ->
+  Noc.Mesh.t ->
+  Power.Model.t ->
+  Traffic.Communication.t list ->
+  Solution.t
+(** Default order: [By_rate_desc]. The result may be infeasible. *)

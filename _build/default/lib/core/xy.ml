@@ -1,0 +1,9 @@
+let route_with make_path mesh comms =
+  Solution.make mesh
+    (List.map
+       (fun (c : Traffic.Communication.t) ->
+         Solution.route_single c (make_path ~src:c.src ~snk:c.snk))
+       comms)
+
+let route mesh comms = route_with Noc.Path.xy mesh comms
+let route_yx mesh comms = route_with Noc.Path.yx mesh comms

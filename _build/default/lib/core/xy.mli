@@ -1,0 +1,14 @@
+(** The baseline XY (dimension-ordered) routing.
+
+    Every communication is forwarded horizontally first, then vertically —
+    the deterministic policy the paper compares against. [yx] is the dual
+    (vertically first), used by the Lemma 2 worst-case construction. *)
+
+val route :
+  Noc.Mesh.t -> Traffic.Communication.t list -> Solution.t
+(** XY-route every communication. Always produces a solution; it may be
+    infeasible (check with {!Evaluate.solution}). *)
+
+val route_yx :
+  Noc.Mesh.t -> Traffic.Communication.t list -> Solution.t
+(** YX-route every communication. *)

@@ -1,0 +1,43 @@
+(** The XYI (XY improver) heuristic — Section 5.4 of the paper.
+
+    Start from the XY routing and iteratively unload the most loaded links.
+    For every communication crossing the current hottest link, a local
+    diversion is attempted: an overloaded {e vertical} link is avoided by
+    descending one column earlier and entering its destination core through
+    the horizontal link; an overloaded {e horizontal} link is avoided by
+    leaving its source core through the vertical link and rejoining the old
+    path after its next vertical segment (mirrored per quadrant; see
+    DESIGN.md detail #3). The diversion with the best decrease of the
+    penalized power is applied and the link list is rebuilt; a link none of
+    whose communications can improve is skipped. The process stops when no
+    link can be improved.
+
+    Because the initial XY solution may violate capacities, improvement is
+    measured with {!Power.Model.penalized_cost}, under which shedding
+    overload always pays; the returned solution is judged with the exact
+    model as usual. *)
+
+val divert :
+  Noc.Path.t -> Noc.Mesh.link -> Noc.Path.t option
+(** [divert path link] is the diverted Manhattan path avoiding [link], or
+    [None] when [link] is not on [path] or the geometry offers no
+    alternative (endpoint rows/columns). Exposed for testing. *)
+
+val route :
+  ?order:Traffic.Communication.order ->
+  ?max_moves:int ->
+  Noc.Mesh.t ->
+  Power.Model.t ->
+  Traffic.Communication.t list ->
+  Solution.t
+(** [max_moves] caps the number of applied diversions (default
+    [length comms * rows * cols], the paper's bound). [order] is accepted
+    for registry uniformity but has no effect on the result beyond the
+    initial tie-breaks. *)
+
+val improve :
+  ?max_moves:int -> Power.Model.t -> Solution.t -> Solution.t
+(** The same local search started from an arbitrary single-path solution
+    instead of the XY routing — a refinement pass that can be applied on
+    top of any heuristic's output (never increases the penalized power).
+    @raise Invalid_argument on multi-path solutions. *)

@@ -1,0 +1,1 @@
+lib/harness/figure.ml: List Noc String Traffic

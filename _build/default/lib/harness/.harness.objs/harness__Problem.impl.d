@@ -1,0 +1,1 @@
+lib/harness/problem.ml: Buffer In_channel List Noc Out_channel Printf String Traffic

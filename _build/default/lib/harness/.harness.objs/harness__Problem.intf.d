@@ -1,0 +1,1 @@
+lib/harness/problem.mli: Noc Traffic

@@ -1,0 +1,1 @@
+lib/harness/render.ml: Buffer Char Figure Filename Float Format List Noc Printf Runner Sys

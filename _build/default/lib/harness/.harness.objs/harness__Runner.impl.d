@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Figure Float Hashtbl List Option Power Routing Summary Sys Traffic

@@ -1,0 +1,1 @@
+lib/harness/summary.ml: Float Format Hashtbl List Routing

@@ -1,0 +1,1 @@
+lib/harness/summary.mli: Format Routing

@@ -1,0 +1,85 @@
+type t = {
+  id : string;
+  title : string;
+  xlabel : string;
+  xs : float list;
+  generate : Traffic.Rng.t -> float -> Traffic.Communication.t list;
+}
+
+let mesh = Noc.Mesh.square 8
+
+let count_sweep id title weight xs =
+  {
+    id;
+    title;
+    xlabel = "number of communications";
+    xs = List.map float_of_int xs;
+    generate =
+      (fun rng x ->
+        Traffic.Workload.uniform rng mesh ~n:(int_of_float x) ~weight);
+  }
+
+let fig7a =
+  count_sweep "fig7a" "Fig. 7(a): #comms, small weights" Traffic.Workload.small
+    [ 10; 20; 40; 60; 80; 100; 120; 140 ]
+
+let fig7b =
+  count_sweep "fig7b" "Fig. 7(b): #comms, mixed weights" Traffic.Workload.mixed
+    [ 5; 10; 20; 30; 40; 50; 60; 70 ]
+
+let fig7c =
+  count_sweep "fig7c" "Fig. 7(c): #comms, big weights" Traffic.Workload.big
+    [ 2; 5; 10; 15; 20; 25; 30 ]
+
+let weight_sweep id title ~n xs =
+  {
+    id;
+    title;
+    xlabel = "average weight (Mb/s)";
+    xs;
+    generate =
+      (fun rng x ->
+        Traffic.Workload.uniform rng mesh ~n ~weight:(Traffic.Workload.around x));
+  }
+
+let fig8a =
+  weight_sweep "fig8a" "Fig. 8(a): weight sweep, 10 comms" ~n:10
+    [ 250.; 750.; 1250.; 1500.; 1750.; 2000.; 2500.; 3000.; 3250. ]
+
+let fig8b =
+  weight_sweep "fig8b" "Fig. 8(b): weight sweep, 20 comms" ~n:20
+    [ 250.; 750.; 1250.; 1500.; 1750.; 2000.; 2500.; 3000.; 3250. ]
+
+let fig8c =
+  weight_sweep "fig8c" "Fig. 8(c): weight sweep, 40 comms" ~n:40
+    [ 200.; 400.; 600.; 800.; 1000.; 1200.; 1400.; 1600.; 1800. ]
+
+let length_sweep id title ~n weight =
+  {
+    id;
+    title;
+    xlabel = "average length (hops)";
+    xs = [ 2.; 4.; 6.; 8.; 10.; 12.; 14. ];
+    generate =
+      (fun rng x ->
+        Traffic.Workload.with_length rng mesh ~n ~weight
+          ~target:(int_of_float x));
+  }
+
+let fig9a =
+  length_sweep "fig9a" "Fig. 9(a): length sweep, 100 small comms" ~n:100
+    (Traffic.Workload.weight ~lo:200. ~hi:800.)
+
+let fig9b =
+  length_sweep "fig9b" "Fig. 9(b): length sweep, 25 mixed comms" ~n:25
+    (Traffic.Workload.weight ~lo:100. ~hi:3500.)
+
+let fig9c =
+  length_sweep "fig9c" "Fig. 9(c): length sweep, 12 big comms" ~n:12
+    (Traffic.Workload.weight ~lo:2700. ~hi:3300.)
+
+let all = [ fig7a; fig7b; fig7c; fig8a; fig8b; fig8c; fig9a; fig9b; fig9c ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun f -> f.id = id) all

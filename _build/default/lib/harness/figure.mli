@@ -1,0 +1,52 @@
+(** Specifications of the paper's simulation figures.
+
+    Each figure of Section 6 sweeps one parameter on the x-axis and draws a
+    fresh random communication set per trial; this module encodes the nine
+    sub-figures (7a-c, 8a-c, 9a-c) on the paper's 8x8 CMP. *)
+
+type t = {
+  id : string;  (** e.g. ["fig7a"]. *)
+  title : string;
+  xlabel : string;
+  xs : float list;  (** Swept x values. *)
+  generate : Traffic.Rng.t -> float -> Traffic.Communication.t list;
+      (** Workload generator for a given x. *)
+}
+
+val mesh : Noc.Mesh.t
+(** The paper's 8x8 CMP. *)
+
+val fig7a : t
+(** Sensitivity to the number of communications, small weights
+    U\[100, 1500\] Mb/s. *)
+
+val fig7b : t
+(** Same with mixed weights U\[100, 2500\]. *)
+
+val fig7c : t
+(** Same with big weights U\[2500, 3500\]. *)
+
+val fig8a : t
+(** Sensitivity to the average weight with 10 communications. *)
+
+val fig8b : t
+(** Same with 20 communications. *)
+
+val fig8c : t
+(** Same with 40 communications. *)
+
+val fig9a : t
+(** Sensitivity to the average length: 100 small communications
+    U\[200, 800\]. *)
+
+val fig9b : t
+(** Same: 25 mixed communications U\[100, 3500\]. *)
+
+val fig9c : t
+(** Same: 12 big communications U\[2700, 3300\]. *)
+
+val all : t list
+(** The nine figures in paper order. *)
+
+val find : string -> t option
+(** Lookup by [id] (case-insensitive). *)

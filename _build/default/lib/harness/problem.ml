@@ -1,0 +1,70 @@
+type t = { mesh : Noc.Mesh.t; comms : Traffic.Communication.t list }
+
+let parse content =
+  let lines = String.split_on_char '\n' content in
+  let data =
+    List.map String.trim lines
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let exception Bad of string in
+  try
+    match data with
+    | [] -> Error "empty problem file"
+    | first :: rest ->
+        let mesh =
+          match String.split_on_char ' ' first |> List.filter (( <> ) "") with
+          | [ "mesh"; r; c ] -> (
+              match (int_of_string_opt r, int_of_string_opt c) with
+              | Some rows, Some cols -> (
+                  try Noc.Mesh.create ~rows ~cols
+                  with Invalid_argument m -> raise (Bad m))
+              | _ -> raise (Bad ("bad mesh line: " ^ first)))
+          | _ -> raise (Bad ("expected 'mesh ROWS COLS', got: " ^ first))
+        in
+        let comms =
+          List.mapi
+            (fun id line ->
+              match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+              | [ "comm"; a; b; c; d; w ] -> (
+                  match
+                    ( int_of_string_opt a,
+                      int_of_string_opt b,
+                      int_of_string_opt c,
+                      int_of_string_opt d,
+                      float_of_string_opt w )
+                  with
+                  | Some r1, Some c1, Some r2, Some c2, Some rate -> (
+                      let src = Noc.Coord.make ~row:r1 ~col:c1
+                      and snk = Noc.Coord.make ~row:r2 ~col:c2 in
+                      if not (Noc.Mesh.in_mesh mesh src && Noc.Mesh.in_mesh mesh snk)
+                      then raise (Bad ("core outside mesh: " ^ line))
+                      else
+                        try Traffic.Communication.make ~id ~src ~snk ~rate
+                        with Invalid_argument m -> raise (Bad m))
+                  | _ -> raise (Bad ("bad comm line: " ^ line)))
+              | _ -> raise (Bad ("expected 'comm R C R C RATE', got: " ^ line)))
+            rest
+        in
+        Ok { mesh; comms }
+  with Bad m -> Error m
+
+let parse_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | content -> parse content
+  | exception Sys_error m -> Error m
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "mesh %d %d\n" (Noc.Mesh.rows t.mesh) (Noc.Mesh.cols t.mesh));
+  List.iter
+    (fun (c : Traffic.Communication.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "comm %d %d %d %d %.12g\n" c.src.Noc.Coord.row
+           c.src.Noc.Coord.col c.snk.Noc.Coord.row c.snk.Noc.Coord.col c.rate))
+    t.comms;
+  Buffer.contents buf
+
+let save path t =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (to_string t))

@@ -1,0 +1,17 @@
+(** Plain-text problem instances for the CLI.
+
+    Format: blank lines and [#] comments are ignored; the first data line
+    is [mesh ROWS COLS]; every other data line is
+    [comm SRC_ROW SRC_COL DST_ROW DST_COL RATE]. Rates are in Mb/s. *)
+
+type t = { mesh : Noc.Mesh.t; comms : Traffic.Communication.t list }
+
+val parse : string -> (t, string) result
+(** Parse the content of a problem file. *)
+
+val parse_file : string -> (t, string) result
+
+val to_string : t -> string
+(** Render in the same format ([parse] round-trips). *)
+
+val save : string -> t -> unit

@@ -1,0 +1,91 @@
+let pp_result ppf (r : Runner.result) =
+  let names = List.map fst (List.hd r.rows).Runner.cells in
+  Format.fprintf ppf "@[<v>%s (%d trials/point; norm. inverse power | failure ratio)@,"
+    r.figure.Figure.title r.trials;
+  Format.fprintf ppf "%10s" r.figure.Figure.xlabel;
+  List.iter (fun name -> Format.fprintf ppf " | %11s" name) names;
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (row : Runner.row) ->
+      Format.fprintf ppf "%10.0f" row.x;
+      List.iter
+        (fun (_, (s : Runner.stats)) ->
+          Format.fprintf ppf " | %5.2f %5.2f" s.norm_inv_power s.failure_ratio)
+        row.cells;
+      Format.fprintf ppf "@,")
+    r.rows;
+  Format.fprintf ppf "@]"
+
+let csv (r : Runner.result) =
+  let buf = Buffer.create 1024 in
+  let names = List.map fst (List.hd r.rows).Runner.cells in
+  Buffer.add_string buf "x";
+  List.iter
+    (fun name ->
+      Buffer.add_string buf
+        (Printf.sprintf ",%s_norm,%s_stderr,%s_fail" name name name))
+    names;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (row : Runner.row) ->
+      Buffer.add_string buf (Printf.sprintf "%g" row.x);
+      List.iter
+        (fun (_, (s : Runner.stats)) ->
+          Buffer.add_string buf
+            (Printf.sprintf ",%.6f,%.6f,%.6f" s.norm_inv_power s.norm_stderr
+               s.failure_ratio))
+        row.cells;
+      Buffer.add_char buf '\n')
+    r.rows;
+  Buffer.contents buf
+
+let heatmap ?(capacity = 3500.) loads =
+  let mesh = Noc.Load.mesh loads in
+  let p = Noc.Mesh.rows mesh and q = Noc.Mesh.cols mesh in
+  let buf = Buffer.create 1024 in
+  let cell u v =
+    (* Busier direction of the two opposite links between cores u and v. *)
+    let load =
+      Float.max
+        (Noc.Load.get_link loads (Noc.Mesh.link ~src:u ~dst:v))
+        (Noc.Load.get_link loads (Noc.Mesh.link ~src:v ~dst:u))
+    in
+    if load <= 0. then '.'
+    else if load > capacity +. 1e-9 then '!'
+    else
+      let tenth = int_of_float (ceil (9. *. load /. capacity)) in
+      Char.chr (Char.code '0' + max 1 (min 9 tenth))
+  in
+  for row = 1 to p do
+    (* Core row with horizontal links. *)
+    for col = 1 to q do
+      Buffer.add_char buf '+';
+      if col < q then begin
+        let u = Noc.Coord.make ~row ~col
+        and v = Noc.Coord.make ~row ~col:(col + 1) in
+        Buffer.add_char buf '-';
+        Buffer.add_char buf (cell u v);
+        Buffer.add_char buf '-'
+      end
+    done;
+    Buffer.add_char buf '\n';
+    (* Vertical links to the next row. *)
+    if row < p then begin
+      for col = 1 to q do
+        let u = Noc.Coord.make ~row ~col
+        and v = Noc.Coord.make ~row:(row + 1) ~col in
+        Buffer.add_char buf (cell u v);
+        if col < q then Buffer.add_string buf "   "
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.contents buf
+
+let write_csv ~dir (r : Runner.result) =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (r.figure.Figure.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (csv r);
+  close_out oc;
+  path

@@ -1,0 +1,21 @@
+(** Text and CSV rendering of figure results. *)
+
+val pp_result : Format.formatter -> Runner.result -> unit
+(** An ASCII table: one row per x value, one column pair (normalized
+    inverse power, failure ratio) per heuristic — the textual equivalent of
+    the paper's two plot rows. *)
+
+val csv : Runner.result -> string
+(** CSV with header
+    [x,<H>_norm,<H>_fail,...] — one row per x value. *)
+
+val write_csv : dir:string -> Runner.result -> string
+(** Writes [<dir>/<figure id>.csv] (creating [dir] if needed) and returns
+    the path. *)
+
+val heatmap : ?capacity:float -> Noc.Load.t -> string
+(** ASCII chip map of the link loads: cores are [+], each inter-core gap
+    shows the utilization of the busier of the two opposite links as a
+    digit [1..9] (tenths of [capacity], default 3500), [.] when idle and
+    [!] when overloaded. Useful to eyeball where a routing concentrates
+    traffic. *)

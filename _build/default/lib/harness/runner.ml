@@ -1,0 +1,118 @@
+type stats = {
+  failure_ratio : float;
+  norm_inv_power : float;
+  norm_stderr : float;
+  mean_power : float option;
+}
+
+type row = { x : float; cells : (string * stats) list }
+
+type result = {
+  figure : Figure.t;
+  trials : int;
+  seed : int;
+  rows : row list;
+}
+
+type cell_acc = {
+  mutable fails : int;
+  mutable norm_sum : float;
+  mutable norm_sumsq : float;
+  mutable power_sum : float;
+  mutable power_n : int;
+}
+
+let default_trials () =
+  match Sys.getenv_opt "MANROUTE_TRIALS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 150)
+  | None -> 150
+
+let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
+    ?(heuristics = Routing.Heuristic.all) ?summary figure =
+  let trials = match trials with Some t -> t | None -> default_trials () in
+  let names =
+    List.map (fun (h : Routing.Heuristic.t) -> h.name) heuristics @ [ "BEST" ]
+  in
+  let rows =
+    List.map
+      (fun x ->
+        let cells =
+          List.map
+            (fun name ->
+              ( name,
+                {
+                  fails = 0;
+                  norm_sum = 0.;
+                  norm_sumsq = 0.;
+                  power_sum = 0.;
+                  power_n = 0;
+                } ))
+            names
+        in
+        let rng = Traffic.Rng.create (Hashtbl.hash (figure.Figure.id, x, seed)) in
+        for _ = 1 to trials do
+          let comms = figure.Figure.generate rng x in
+          let times = ref [] in
+          let outcomes =
+            List.map
+              (fun (h : Routing.Heuristic.t) ->
+                let t0 = Sys.time () in
+                let solution = h.run model Figure.mesh comms in
+                times := (h.name, Sys.time () -. t0) :: !times;
+                {
+                  Routing.Best.heuristic = h;
+                  solution;
+                  report = Routing.Evaluate.solution model solution;
+                })
+              heuristics
+          in
+          let best = Routing.Best.best_of outcomes in
+          let best_power =
+            match best with
+            | Some o -> Some o.report.Routing.Evaluate.total_power
+            | None -> None
+          in
+          let record name (report : Routing.Evaluate.report option) =
+            let cell = List.assoc name cells in
+            match (report, best_power) with
+            | Some r, Some pb when r.feasible ->
+                let v = pb /. r.total_power in
+                cell.norm_sum <- cell.norm_sum +. v;
+                cell.norm_sumsq <- cell.norm_sumsq +. (v *. v);
+                cell.power_sum <- cell.power_sum +. r.total_power;
+                cell.power_n <- cell.power_n + 1
+            | _ -> cell.fails <- cell.fails + 1
+          in
+          List.iter
+            (fun (o : Routing.Best.outcome) ->
+              record o.heuristic.Routing.Heuristic.name (Some o.report))
+            outcomes;
+          record "BEST"
+            (Option.map (fun (o : Routing.Best.outcome) -> o.report) best);
+          match summary with
+          | Some acc -> Summary.observe acc ~outcomes ~best ~times:!times
+          | None -> ()
+        done;
+        let cells =
+          List.map
+            (fun (name, c) ->
+              ( name,
+                let n = float_of_int trials in
+                let mean = c.norm_sum /. n in
+                let variance =
+                  Float.max 0. ((c.norm_sumsq /. n) -. (mean *. mean))
+                in
+                {
+                  failure_ratio = float_of_int c.fails /. n;
+                  norm_inv_power = mean;
+                  norm_stderr = sqrt (variance /. n);
+                  mean_power =
+                    (if c.power_n = 0 then None
+                     else Some (c.power_sum /. float_of_int c.power_n));
+                } ))
+            cells
+        in
+        { x; cells })
+      figure.Figure.xs
+  in
+  { figure; trials; seed; rows }

@@ -1,0 +1,42 @@
+(** Monte-Carlo execution of a figure specification.
+
+    For each x value, [trials] independent communication sets are drawn and
+    every heuristic (plus the virtual BEST) is scored the way the paper
+    plots it: the mean of the heuristic's inverse power normalized by the
+    inverse power of BEST (0 on failure), and the failure ratio. *)
+
+type stats = {
+  failure_ratio : float;
+  norm_inv_power : float;
+      (** Mean over trials of [P_BEST / P_h] (0 when [h] fails); equals 1
+          minus failure ratio for BEST itself. *)
+  norm_stderr : float;
+      (** Standard error of that mean (Monte-Carlo noise estimate). *)
+  mean_power : float option;
+      (** Mean power over the successful trials, when any. *)
+}
+
+type row = { x : float; cells : (string * stats) list }
+(** One x point; cells are keyed by heuristic name, BEST last. *)
+
+type result = {
+  figure : Figure.t;
+  trials : int;
+  seed : int;
+  rows : row list;
+}
+
+val default_trials : unit -> int
+(** [MANROUTE_TRIALS] from the environment, else 150. *)
+
+val run :
+  ?trials:int ->
+  ?seed:int ->
+  ?model:Power.Model.t ->
+  ?heuristics:Routing.Heuristic.t list ->
+  ?summary:Summary.acc ->
+  Figure.t ->
+  result
+(** Defaults: {!default_trials} trials, seed 1, the paper's
+    {!Power.Model.kim_horowitz} model, all six heuristics. When [summary]
+    is given, every instance is also folded into it. *)

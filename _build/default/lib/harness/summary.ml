@@ -1,0 +1,112 @@
+type per_h = {
+  mutable succ : int;
+  mutable inv_sum : float;
+  mutable time_s : float;
+  mutable timed : int;
+}
+
+type acc = {
+  mutable instances : int;
+  table : (string, per_h) Hashtbl.t;
+  mutable static_sum : float;
+  mutable static_n : int;
+}
+
+let create () =
+  { instances = 0; table = Hashtbl.create 8; static_sum = 0.; static_n = 0 }
+
+let entry acc name =
+  match Hashtbl.find_opt acc.table name with
+  | Some e -> e
+  | None ->
+      let e = { succ = 0; inv_sum = 0.; time_s = 0.; timed = 0 } in
+      Hashtbl.add acc.table name e;
+      e
+
+let observe_one acc name (report : Routing.Evaluate.report) =
+  let e = entry acc name in
+  if report.feasible then begin
+    e.succ <- e.succ + 1;
+    e.inv_sum <- e.inv_sum +. (1. /. report.total_power)
+  end
+
+let observe acc ~outcomes ~best ~times =
+  acc.instances <- acc.instances + 1;
+  List.iter
+    (fun (o : Routing.Best.outcome) ->
+      observe_one acc o.heuristic.Routing.Heuristic.name o.report)
+    outcomes;
+  (match best with
+  | Some (o : Routing.Best.outcome) ->
+      observe_one acc "BEST" o.report;
+      if o.report.feasible && o.report.total_power > 0. then begin
+        acc.static_sum <-
+          acc.static_sum
+          +. (o.report.static_power /. o.report.total_power);
+        acc.static_n <- acc.static_n + 1
+      end
+  | None -> ignore (entry acc "BEST"));
+  List.iter
+    (fun (name, s) ->
+      let e = entry acc name in
+      e.time_s <- e.time_s +. s;
+      e.timed <- e.timed + 1)
+    times
+
+type t = {
+  instances : int;
+  success_ratio : (string * float) list;
+  mean_inverse_power : (string * float) list;
+  inverse_power_vs_xy : (string * float) list;
+  static_fraction : float;
+  mean_runtime_ms : (string * float) list;
+}
+
+let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "BEST" ]
+
+let finalize (acc : acc) =
+  let n = float_of_int (max 1 acc.instances) in
+  let names =
+    List.filter (fun name -> Hashtbl.mem acc.table name) order
+  in
+  let per f = List.map (fun name -> (name, f (Hashtbl.find acc.table name))) names in
+  let mean_inv = per (fun e -> e.inv_sum /. n) in
+  let xy_inv =
+    match List.assoc_opt "XY" mean_inv with Some v -> v | None -> 0.
+  in
+  {
+    instances = acc.instances;
+    success_ratio = per (fun e -> float_of_int e.succ /. n);
+    mean_inverse_power = mean_inv;
+    inverse_power_vs_xy =
+      (if xy_inv > 0. then
+         List.map (fun (name, v) -> (name, v /. xy_inv)) mean_inv
+       else []);
+    static_fraction =
+      (if acc.static_n = 0 then Float.nan
+       else acc.static_sum /. float_of_int acc.static_n);
+    mean_runtime_ms =
+      List.filter_map
+        (fun name ->
+          let e = Hashtbl.find acc.table name in
+          if e.timed = 0 then None
+          else Some (name, 1000. *. e.time_s /. float_of_int e.timed))
+        names;
+  }
+
+let pp ppf t =
+  let line ppf (name, v) = Format.fprintf ppf "%-5s %6.3f" name v in
+  let block title xs =
+    if xs <> [] then begin
+      Format.fprintf ppf "%s:@," title;
+      List.iter (fun x -> Format.fprintf ppf "  %a@," line x) xs
+    end
+  in
+  Format.fprintf ppf "@[<v>summary over %d instances@," t.instances;
+  block "success ratio" t.success_ratio;
+  block "inverse power vs XY" t.inverse_power_vs_xy;
+  block "mean runtime (ms)" t.mean_runtime_ms;
+  if not (Float.is_nan t.static_fraction) then
+    Format.fprintf ppf "static power fraction of BEST: %.3f (paper: ~1/7)@,"
+      t.static_fraction;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,37 @@
+(** Aggregate statistics across all simulated instances — the numbers the
+    paper reports in Section 6.4: per-heuristic success rates (XY about 15%,
+    XYI 46%, PR 50%, BEST 51%), mean-inverse-power ratios over XY (XYI about
+    2.44x, PR 2.57x, BEST 2.95x), the static fraction of the total power
+    (about 1/7), and heuristic runtimes. *)
+
+type acc
+(** Mutable accumulator; feed it the outcomes of every instance. *)
+
+val create : unit -> acc
+
+val observe :
+  acc ->
+  outcomes:Routing.Best.outcome list ->
+  best:Routing.Best.outcome option ->
+  times:(string * float) list ->
+  unit
+(** Record one instance: the per-heuristic outcomes, the BEST outcome, and
+    per-heuristic wall-clock seconds. *)
+
+type t = {
+  instances : int;
+  success_ratio : (string * float) list;  (** Per heuristic, plus BEST. *)
+  mean_inverse_power : (string * float) list;
+      (** Mean of 1/power over all instances (0 on failure), mW^-1. *)
+  inverse_power_vs_xy : (string * float) list;
+      (** [mean_inverse_power h / mean_inverse_power XY] — the paper's
+          "2.44 times higher in XYI than in XY" metric. *)
+  static_fraction : float;
+      (** Mean static/total power over feasible BEST solutions. *)
+  mean_runtime_ms : (string * float) list;
+}
+
+val finalize : acc -> t
+
+val pp : Format.formatter -> t -> unit
+(** Renders the Section 6.4 summary table. *)

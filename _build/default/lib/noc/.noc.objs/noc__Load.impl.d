@@ -1,0 +1,1 @@
+lib/noc/load.ml: Array Float Fun Int List Mesh Path

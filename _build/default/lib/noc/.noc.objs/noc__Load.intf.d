@@ -1,0 +1,1 @@
+lib/noc/load.mli: Mesh Path

@@ -1,0 +1,1 @@
+lib/noc/mesh.ml: Array Coord Format List Printf

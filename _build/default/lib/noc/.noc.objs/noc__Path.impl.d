@@ -1,0 +1,1 @@
+lib/noc/path.ml: Array Coord Format List Mesh Quadrant

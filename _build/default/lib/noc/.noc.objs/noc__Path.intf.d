@@ -1,0 +1,1 @@
+lib/noc/path.mli: Coord Format Mesh Quadrant

@@ -1,0 +1,1 @@
+lib/noc/quadrant.ml: Coord Format

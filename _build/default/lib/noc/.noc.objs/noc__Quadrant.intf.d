@@ -1,0 +1,1 @@
+lib/noc/quadrant.mli: Coord Format

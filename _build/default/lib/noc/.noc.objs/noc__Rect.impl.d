@@ -1,0 +1,1 @@
+lib/noc/rect.ml: Coord Format List Mesh Quadrant

@@ -1,0 +1,1 @@
+lib/noc/rect.mli: Coord Format Mesh Quadrant

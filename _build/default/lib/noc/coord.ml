@@ -1,0 +1,12 @@
+type t = { row : int; col : int }
+
+let make ~row ~col = { row; col }
+let equal a b = a.row = b.row && a.col = b.col
+
+let compare a b =
+  let c = Int.compare a.row b.row in
+  if c <> 0 then c else Int.compare a.col b.col
+
+let manhattan a b = abs (a.row - b.row) + abs (a.col - b.col)
+let pp ppf { row; col } = Format.fprintf ppf "(%d,%d)" row col
+let to_string c = Format.asprintf "%a" pp c

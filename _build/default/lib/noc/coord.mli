@@ -1,0 +1,28 @@
+(** Core coordinates on the CMP grid.
+
+    The paper indexes cores [C(u,v)] with [1 <= u <= p] (row, vertical axis)
+    and [1 <= v <= q] (column, horizontal axis). We keep the same 1-based
+    convention throughout the library. *)
+
+type t = {
+  row : int;  (** [u], 1-based row index, grows downward. *)
+  col : int;  (** [v], 1-based column index, grows rightward. *)
+}
+
+val make : row:int -> col:int -> t
+(** [make ~row ~col] builds a coordinate. No bound check: coordinates only
+    gain meaning relative to a {!Mesh.t}. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Row-major lexicographic order. *)
+
+val manhattan : t -> t -> int
+(** [manhattan a b] is [|a.row - b.row| + |a.col - b.col|], i.e. the length
+    of every Manhattan path between [a] and [b]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["(u,v)"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,48 @@
+type t = { mesh : Mesh.t; loads : float array }
+
+let create mesh = { mesh; loads = Array.make (Mesh.num_links mesh) 0. }
+let mesh t = t.mesh
+let copy t = { t with loads = Array.copy t.loads }
+let get t id = t.loads.(id)
+let get_link t l = t.loads.(Mesh.link_id t.mesh l)
+
+(* Loads are sums/differences of the same rate values, so exact cancellation
+   is common; clamp the residual noise so that feasibility tests with
+   [capacity] stay stable. *)
+let epsilon = 1e-9
+
+let add t id delta =
+  let x = t.loads.(id) +. delta in
+  t.loads.(id) <- (if x < epsilon && x > -.epsilon then 0. else x)
+
+let add_link t l delta = add t (Mesh.link_id t.mesh l) delta
+let add_path t path rate = Path.iter_links path (fun l -> add_link t l rate)
+let remove_path t path rate = add_path t path (-.rate)
+let max_load t = Array.fold_left max 0. t.loads
+let total t = Array.fold_left ( +. ) 0. t.loads
+
+let active_links t =
+  Array.fold_left (fun n x -> if x > 0. then n + 1 else n) 0 t.loads
+
+let overloaded t ~capacity =
+  let over = ref [] in
+  Array.iteri
+    (fun id x -> if x > capacity +. epsilon then over := (id, x) :: !over)
+    t.loads;
+  List.sort (fun (_, a) (_, b) -> Float.compare b a) !over
+
+let fold f t acc =
+  let acc = ref acc in
+  Array.iteri (fun id x -> acc := f id x !acc) t.loads;
+  !acc
+
+let iter f t = Array.iteri f t.loads
+
+let sorted_ids t =
+  let ids = Array.init (Array.length t.loads) Fun.id in
+  Array.sort
+    (fun a b ->
+      let c = Float.compare t.loads.(b) t.loads.(a) in
+      if c <> 0 then c else Int.compare a b)
+    ids;
+  ids

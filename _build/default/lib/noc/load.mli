@@ -1,0 +1,53 @@
+(** Mutable link-load accounting.
+
+    Tracks, for every directed link of a mesh, the total bandwidth (in the
+    caller's rate unit, Mb/s throughout this project) of the communications
+    currently routed through it. This is the inner-loop data structure of
+    every routing heuristic: adding and removing a path is [O(path length)]
+    and reading a link is [O(1)]. *)
+
+type t
+
+val create : Mesh.t -> t
+(** All loads start at zero. *)
+
+val mesh : t -> Mesh.t
+
+val copy : t -> t
+
+val get : t -> int -> float
+(** Load of the link with the given {!Mesh.link_id}. *)
+
+val get_link : t -> Mesh.link -> float
+
+val add : t -> int -> float -> unit
+(** [add t id delta] adds [delta] (possibly negative) to a link load.
+    Tiny negative results from float cancellation are clamped to [0.]. *)
+
+val add_link : t -> Mesh.link -> float -> unit
+
+val add_path : t -> Path.t -> float -> unit
+(** Routes [rate] units along every link of the path. *)
+
+val remove_path : t -> Path.t -> float -> unit
+(** Inverse of {!add_path}. *)
+
+val max_load : t -> float
+
+val total : t -> float
+(** Sum of all link loads (each communication counted once per hop). *)
+
+val active_links : t -> int
+(** Number of links with a strictly positive load. *)
+
+val overloaded : t -> capacity:float -> (int * float) list
+(** Links whose load strictly exceeds [capacity], with their loads,
+    by decreasing load. *)
+
+val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
+(** Folds over every link id with its load, in id order. *)
+
+val iter : (int -> float -> unit) -> t -> unit
+
+val sorted_ids : t -> int array
+(** All link ids sorted by decreasing load (ties by id). *)

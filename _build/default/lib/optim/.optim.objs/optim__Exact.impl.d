@@ -1,0 +1,1 @@
+lib/optim/exact.ml: Array Evaluate Noc Option Power Routing Solution Traffic

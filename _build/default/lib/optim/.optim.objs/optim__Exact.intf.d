@@ -1,0 +1,1 @@
+lib/optim/exact.mli: Noc Power Routing Solution Traffic

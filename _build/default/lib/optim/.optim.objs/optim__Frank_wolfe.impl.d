@@ -1,0 +1,1 @@
+lib/optim/frank_wolfe.ml: Array Float Hashtbl List Noc Power Traffic

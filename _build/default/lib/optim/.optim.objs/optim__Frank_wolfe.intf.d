@@ -1,0 +1,1 @@
+lib/optim/frank_wolfe.mli: Noc Power Traffic

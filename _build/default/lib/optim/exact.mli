@@ -1,0 +1,41 @@
+(** Exact single-path (1-MP) routing by branch-and-bound.
+
+    The paper leaves "compute the optimal solution for small problem
+    instances" as future work; this module does it. Communications are
+    processed in decreasing-weight order, all Manhattan paths of the current
+    one are enumerated, and branches are pruned with an admissible bound:
+    the continuous-frequency power of the partial loads plus, for every
+    unrouted communication, [length * P_dyn(rate)] (dynamic power is
+    superadditive in the load, and quantized frequencies only increase
+    power, so the bound is valid in both frequency modes).
+
+    Worst-case cost is the product of the communications' path counts —
+    keep instances small (say, total path-count product below 1e7) or rely
+    on [max_nodes]. *)
+
+open Routing
+
+type result =
+  | Optimal of Solution.t * float
+      (** Cheapest feasible 1-MP routing and its exact power. *)
+  | Infeasible
+      (** No single-path routing satisfies the link capacities (proved). *)
+  | Truncated of (Solution.t * float) option
+      (** Search hit [max_nodes]; holds the incumbent if one was found. *)
+
+val route :
+  ?max_nodes:int ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  result
+(** [max_nodes] caps the number of explored search nodes
+    (default [5_000_000]). *)
+
+val route_solution :
+  ?max_nodes:int ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  Solution.t option
+(** Convenience: the optimal (or incumbent) solution, when any. *)

@@ -1,0 +1,197 @@
+module Coord_tbl = Hashtbl.Make (struct
+  type t = Noc.Coord.t
+
+  let equal = Noc.Coord.equal
+  let hash (c : Noc.Coord.t) = (c.row * 1021) + c.col
+end)
+
+type result = {
+  loads : Noc.Load.t;
+  objective : float;
+  gap : float;
+  iterations : int;
+}
+
+type flow = {
+  comm : Traffic.Communication.t;
+  rect : Noc.Rect.t;
+  link_ids : int array;  (** All rectangle links, fixed order. *)
+  shares : float array;  (** Flow on [link_ids.(i)], in rate units. *)
+}
+
+let rect_links mesh rect =
+  let ids = ref [] in
+  for k = Noc.Rect.length rect - 1 downto 0 do
+    List.iter
+      (fun l -> ids := Noc.Mesh.link_id mesh l :: !ids)
+      (Noc.Rect.links_on_step rect k)
+  done;
+  Array.of_list !ids
+
+(* Ideal diagonal spread of the communication (Figure 3), as a warm start. *)
+let initial_flow mesh (comm : Traffic.Communication.t) =
+  let rect = Traffic.Communication.rect comm in
+  let link_ids = rect_links mesh rect in
+  let shares = Array.make (Array.length link_ids) 0. in
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace pos id i) link_ids;
+  for k = 0 to Noc.Rect.length rect - 1 do
+    let links = Noc.Rect.links_on_step rect k in
+    let share = comm.rate /. float_of_int (List.length links) in
+    List.iter
+      (fun l ->
+        let i = Hashtbl.find pos (Noc.Mesh.link_id mesh l) in
+        shares.(i) <- shares.(i) +. share)
+      links
+  done;
+  { comm; rect; link_ids; shares }
+
+(* Cheapest path of the rectangle DAG under per-link weights; returns the
+   indicator shares (full rate on the chosen path). *)
+let shortest_shares mesh weights fl =
+  let rect = fl.rect in
+  let n = Noc.Rect.length rect in
+  let best = Coord_tbl.create 16 in
+  Coord_tbl.replace best fl.comm.Traffic.Communication.snk (0., None);
+  for k = n - 1 downto 0 do
+    List.iter
+      (fun (l : Noc.Mesh.link) ->
+        match Coord_tbl.find_opt best l.dst with
+        | None -> ()
+        | Some (cost_dst, _) ->
+            let c = cost_dst +. weights (Noc.Mesh.link_id mesh l) in
+            let better =
+              match Coord_tbl.find_opt best l.src with
+              | None -> true
+              | Some (old, _) -> c < old
+            in
+            if better then Coord_tbl.replace best l.src (c, Some l.dst))
+      (Noc.Rect.links_on_step rect k)
+  done;
+  let shares = Array.make (Array.length fl.link_ids) 0. in
+  let pos = Hashtbl.create 16 in
+  Array.iteri (fun i id -> Hashtbl.replace pos id i) fl.link_ids;
+  let rec walk c =
+    match Coord_tbl.find_opt best c with
+    | Some (_, Some next) ->
+        let id = Noc.Mesh.link_id mesh (Noc.Mesh.link ~src:c ~dst:next) in
+        shares.(Hashtbl.find pos id) <- fl.comm.Traffic.Communication.rate;
+        walk next
+    | Some (_, None) -> ()
+    | None -> assert false
+  in
+  walk fl.comm.Traffic.Communication.src;
+  shares
+
+(* Generic Frank-Wolfe over the product of per-communication path
+   polytopes, for a separable convex objective given by per-link [value]
+   and [slope]. *)
+let solve_generic ~iterations ~value ~slope mesh comms =
+  let flows = List.map (initial_flow mesh) comms in
+  let loads = Noc.Load.create mesh in
+  List.iter
+    (fun fl ->
+      Array.iteri (fun i id -> Noc.Load.add loads id fl.shares.(i)) fl.link_ids)
+    flows;
+  let objective_of () =
+    Noc.Load.fold (fun _ load acc -> acc +. value load) loads 0.
+  in
+  let gap = ref infinity in
+  let iters = ref 0 in
+  let gradient id = slope (Noc.Load.get loads id) in
+  (try
+     for t = 1 to iterations do
+       iters := t;
+       (* Linearized subproblem: per communication, ship everything on the
+          gradient-cheapest path. *)
+       let targets =
+         List.map (fun fl -> shortest_shares mesh gradient fl) flows
+       in
+       (* Duality gap <grad, current - target>. *)
+       let g = ref 0. in
+       List.iter2
+         (fun fl target ->
+           Array.iteri
+             (fun i id ->
+               g := !g +. (gradient id *. (fl.shares.(i) -. target.(i))))
+             fl.link_ids)
+         flows targets;
+       gap := Float.max 0. !g;
+       if !gap <= 1e-9 *. Float.max 1. (objective_of ()) then raise Exit;
+       (* Exact line search on gamma in [0,1]: the objective along the
+          segment is convex; bisect its derivative. *)
+       let delta = Noc.Load.create mesh in
+       List.iter2
+         (fun fl target ->
+           Array.iteri
+             (fun i id -> Noc.Load.add delta id (target.(i) -. fl.shares.(i)))
+             fl.link_ids)
+         flows targets;
+       let derivative gamma =
+         Noc.Load.fold
+           (fun id d acc ->
+             if d = 0. then acc
+             else acc +. (d *. slope (Noc.Load.get loads id +. (gamma *. d))))
+           delta 0.
+       in
+       let gamma =
+         if derivative 1. <= 0. then 1.
+         else begin
+           let lo = ref 0. and hi = ref 1. in
+           for _ = 1 to 40 do
+             let mid = 0.5 *. (!lo +. !hi) in
+             if derivative mid > 0. then hi := mid else lo := mid
+           done;
+           0.5 *. (!lo +. !hi)
+         end
+       in
+       if gamma > 0. then
+         List.iter2
+           (fun fl target ->
+             Array.iteri
+               (fun i id ->
+                 let d = gamma *. (target.(i) -. fl.shares.(i)) in
+                 fl.shares.(i) <- fl.shares.(i) +. d;
+                 Noc.Load.add loads id d)
+               fl.link_ids)
+           flows targets
+     done
+   with Exit -> ());
+  { loads; objective = objective_of (); gap = !gap; iterations = !iters }
+
+let solve ?(iterations = 200) model mesh comms =
+  let alpha = model.Power.Model.alpha
+  and p0 = model.Power.Model.p0
+  and scale = model.Power.Model.gbps_scale in
+  let value load =
+    if load > 0. then p0 *. Float.pow (load /. scale) alpha else 0.
+  and slope load =
+    if load <= 0. then 0.
+    else alpha *. p0 /. scale *. Float.pow (load /. scale) (alpha -. 1.)
+  in
+  solve_generic ~iterations ~value ~slope mesh comms
+
+let lower_bound ?iterations model mesh comms =
+  let r = solve ?iterations model mesh comms in
+  Float.max 0. (r.objective -. r.gap)
+
+let min_overload ?(iterations = 400) model mesh comms =
+  let cap = model.Power.Model.capacity in
+  let value load =
+    let e = load -. cap in
+    if e > 0. then e *. e else 0.
+  and slope load =
+    let e = load -. cap in
+    if e > 0. then 2. *. e else 0.
+  in
+  let r = solve_generic ~iterations ~value ~slope mesh comms in
+  let worst =
+    Noc.Load.fold
+      (fun _ load acc -> Float.max acc (load -. cap))
+      r.loads 0.
+  in
+  (Float.max 0. worst, r)
+
+let fractionally_feasible ?iterations ?(tolerance = 1e-6) model mesh comms =
+  let worst, _ = min_overload ?iterations model mesh comms in
+  worst <= tolerance *. model.Power.Model.capacity

@@ -1,0 +1,1 @@
+lib/power/model.ml: Array Float Format List Printf String

@@ -1,0 +1,97 @@
+type mode = Continuous | Discrete of float array
+
+type t = {
+  p_leak : float;
+  p0 : float;
+  alpha : float;
+  capacity : float;
+  gbps_scale : float;
+  mode : mode;
+}
+
+let tolerance = 1e-9
+
+let make ?(mode = Continuous) ?(gbps_scale = 1.) ~p_leak ~p0 ~alpha ~capacity
+    () =
+  if capacity <= 0. then invalid_arg "Model.make: capacity <= 0";
+  if alpha <= 0. then invalid_arg "Model.make: alpha <= 0";
+  (match mode with
+  | Continuous -> ()
+  | Discrete levels ->
+      let n = Array.length levels in
+      if n = 0 then invalid_arg "Model.make: no frequency levels";
+      for i = 1 to n - 1 do
+        if levels.(i) <= levels.(i - 1) then
+          invalid_arg "Model.make: levels not strictly increasing"
+      done;
+      if levels.(0) <= 0. then invalid_arg "Model.make: non-positive level";
+      if Float.abs (levels.(n - 1) -. capacity) > tolerance then
+        invalid_arg "Model.make: top level must equal capacity");
+  { p_leak; p0; alpha; capacity; gbps_scale; mode }
+
+let kim_horowitz =
+  make
+    ~mode:(Discrete [| 1000.; 2500.; 3500. |])
+    ~gbps_scale:1000. ~p_leak:16.9 ~p0:5.41 ~alpha:2.95 ~capacity:3500. ()
+
+let kim_horowitz_continuous =
+  make ~gbps_scale:1000. ~p_leak:16.9 ~p0:5.41 ~alpha:2.95 ~capacity:3500. ()
+
+let theory ?(alpha = 3.) ?(capacity = infinity) () =
+  make ~p_leak:0. ~p0:1. ~alpha ~capacity ()
+
+let required_frequency t load =
+  if load <= 0. then Some 0.
+  else if load > t.capacity +. tolerance then None
+  else
+    match t.mode with
+    | Continuous -> Some load
+    | Discrete levels ->
+        let n = Array.length levels in
+        let rec find i =
+          if i >= n then None
+          else if levels.(i) +. tolerance >= load then Some levels.(i)
+          else find (i + 1)
+        in
+        find 0
+
+let is_feasible t load = load <= t.capacity +. tolerance
+let dynamic_power t f = t.p0 *. Float.pow (f /. t.gbps_scale) t.alpha
+
+let link_power t load =
+  match required_frequency t load with
+  | None -> None
+  | Some 0. -> Some 0.
+  | Some f -> Some (t.p_leak +. dynamic_power t f)
+
+let link_power_exn t load =
+  match link_power t load with
+  | Some p -> p
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Model.link_power_exn: load %g > capacity %g" load
+           t.capacity)
+
+(* The penalty slope must dominate any dynamic-power gain achievable by a
+   feasible rearrangement; the base term keeps the function continuous and
+   strictly increasing past the capacity point. *)
+let penalized_cost t load =
+  if load <= 0. then 0.
+  else if is_feasible t load then link_power_exn t load
+  else
+    t.p_leak
+    +. dynamic_power t load
+    +. (1e9 *. (1. +. ((load -. t.capacity) /. t.capacity)))
+
+let pp ppf t =
+  let mode =
+    match t.mode with
+    | Continuous -> "continuous"
+    | Discrete l ->
+        Printf.sprintf "discrete[%s]"
+          (String.concat ";"
+             (List.map (Printf.sprintf "%g") (Array.to_list l)))
+  in
+  Format.fprintf ppf
+    "power model: P_leak=%g P0=%g alpha=%g capacity=%g (%s)" t.p_leak t.p0
+    t.alpha t.capacity mode

@@ -1,0 +1,81 @@
+(** The link power-consumption model.
+
+    An active link running at frequency [f] dissipates
+    [P_leak + P0 * (f / gbps_scale)^alpha]; an inactive link dissipates
+    nothing. The frequency must be at least the traffic [D] traversing the
+    link and can either be chosen continuously ([f = D]) or snapped to the
+    first discrete level at least [D], as in the paper's simulations.
+
+    Rates and frequencies are expressed in the caller's unit (Mb/s in this
+    project); [gbps_scale] converts them to the Gb/s convention in which the
+    paper's constants are stated. A load exceeding [capacity] is infeasible:
+    no frequency can carry it. *)
+
+type mode =
+  | Continuous  (** [f = D] exactly. *)
+  | Discrete of float array
+      (** Available frequency levels, strictly increasing; the highest level
+          must equal [capacity]. *)
+
+type t = private {
+  p_leak : float;  (** Static (leakage) power of an active link, mW. *)
+  p0 : float;  (** Dynamic power coefficient. *)
+  alpha : float;  (** Frequency exponent, [2 < alpha <= 3]. *)
+  capacity : float;  (** Maximum link bandwidth [BW], in rate units. *)
+  gbps_scale : float;
+      (** Rate units per Gb/s ([1000.] for Mb/s, [1.] for abstract units). *)
+  mode : mode;
+}
+
+val make :
+  ?mode:mode ->
+  ?gbps_scale:float ->
+  p_leak:float ->
+  p0:float ->
+  alpha:float ->
+  capacity:float ->
+  unit ->
+  t
+(** Defaults: [mode = Continuous], [gbps_scale = 1.].
+    @raise Invalid_argument on non-positive capacity, [alpha <= 0], unsorted
+    discrete levels, or a top discrete level different from [capacity]. *)
+
+val kim_horowitz : t
+(** The paper's simulation model (Section 6), from Kim & Horowitz's links:
+    [P_leak = 16.9] mW, [P0 = 5.41], [alpha = 2.95], frequency levels
+    [{1000, 2500, 3500}] Mb/s, [capacity = 3500] Mb/s. *)
+
+val kim_horowitz_continuous : t
+(** Same constants with continuous frequency scaling (used by ablations). *)
+
+val theory : ?alpha:float -> ?capacity:float -> unit -> t
+(** The model of Section 4: [P_leak = 0], [P0 = 1], continuous frequencies.
+    Defaults: [alpha = 3.], [capacity = infinity]. *)
+
+val required_frequency : t -> float -> float option
+(** Lowest admissible frequency for a given load: [Some 0.] for no load,
+    [None] if the load exceeds every level (or [capacity]). *)
+
+val is_feasible : t -> float -> bool
+(** [load <= capacity] up to a small tolerance. *)
+
+val dynamic_power : t -> float -> float
+(** [dynamic_power t f] is [P0 * (f / gbps_scale)^alpha] — the dynamic term
+    for a link clocked at [f], with no feasibility check. *)
+
+val link_power : t -> float -> float option
+(** Total power of a link carrying the given load: [Some 0.] when idle,
+    [None] when infeasible, otherwise [Some (P_leak + dynamic)] at the
+    {!required_frequency}. *)
+
+val link_power_exn : t -> float -> float
+(** @raise Invalid_argument when the load is infeasible. *)
+
+val penalized_cost : t -> float -> float
+(** A total cost function defined for {e every} load, used by repair
+    heuristics that traverse infeasible states: equals [link_power] on
+    feasible loads and adds a steep, strictly increasing penalty above
+    [capacity], so that reducing an overload always reduces the cost and any
+    infeasible state costs more than any feasible one. *)
+
+val pp : Format.formatter -> t -> unit

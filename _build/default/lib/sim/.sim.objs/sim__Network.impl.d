@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Config Float Format Fun Hashtbl Int List Noc Option Power Queue Routing Traffic

@@ -1,0 +1,1 @@
+lib/sim/validate.ml: Float List Network

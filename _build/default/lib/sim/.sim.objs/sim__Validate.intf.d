@@ -1,0 +1,1 @@
+lib/sim/validate.mli: Config Network Power Routing

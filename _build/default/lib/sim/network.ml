@@ -1,0 +1,590 @@
+type event =
+  | Injected of { cycle : int; comm_id : int; packet : int }
+  | Delivered of { cycle : int; comm_id : int; packet : int; latency : int }
+  | Escaped of { cycle : int; comm_id : int; packet : int }
+  | Deadlock of { cycle : int }
+
+type flit = { pkt : int; is_head : bool; is_tail : bool; mutable stamp : int }
+
+type packet = {
+  id : int;
+  comm_idx : int;
+  mutable route : int array;  (* link ids, source core to sink core *)
+  injected_at : int;
+  mutable escaped : bool;
+}
+
+type injector = {
+  comm : Traffic.Communication.t;
+  paths : (int array * float) array;  (* routes (link ids) and rate shares *)
+  flit_rate : float;  (* injected flits per cycle *)
+  mutable acc : float;
+  mutable sent_per_path : float array;
+  mutable pending : packet Queue.t;
+  mutable emit_count : int;  (* flits of the head pending packet emitted *)
+  mutable emit_vc : int;  (* VC allocated for the head pending packet *)
+  mutable injected : int;
+  mutable delivered : int;
+  mutable flits_delivered : int;
+  mutable escaped_done : int;
+  mutable latency_sum : int;
+  mutable latencies : int list;  (* measured-window tail latencies *)
+}
+
+type t = {
+  config : Config.t;
+  mesh : Noc.Mesh.t;
+  nlinks : int;
+  rate : float array;  (* flits/cycle per link *)
+  credit : float array;
+  queue : flit Queue.t array array;  (* queue.(l).(v): buffered at dst of l *)
+  space : int array array;
+  owner : int array array;  (* packet id or -1 *)
+  next_alloc : (int * int) option array array;  (* (out link, out vc) *)
+  wait : int array array;
+  inputs_of : int list array;  (* links feeding the source router of l *)
+  injectors : injector array;
+  injectors_at : (Noc.Coord.t, int list) Hashtbl.t;
+  packets : (int, packet) Hashtbl.t;
+  rr : int array;  (* round-robin pointer per output link *)
+  mutable next_packet_id : int;
+  mutable cycle : int;
+  mutable flits_in_flight : int;
+  mutable last_progress : int;
+  mutable measuring : bool;
+  mutable measured_cycles : int;
+  mutable flits_moved : int;
+  link_flits : int array;  (* measured traversals per link *)
+  mutable ran : bool;
+  mutable observer : (event -> unit) option;
+}
+
+let path_links mesh path =
+  Array.map (Noc.Mesh.link_id mesh) (Noc.Path.links path)
+
+let link_rate config model load =
+  let cap = model.Power.Model.capacity in
+  match Power.Model.required_frequency model load with
+  | Some 0. ->
+      if config.Config.idle_links_min_level then
+        (match model.Power.Model.mode with
+        | Power.Model.Discrete levels -> levels.(0) /. cap
+        | Power.Model.Continuous -> 1.)
+      else 0.
+  | Some f -> f /. cap
+  | None -> 1. (* overloaded link: clock it flat out and let it saturate *)
+
+let create ?(config = Config.default) model solution =
+  Config.validate config;
+  let mesh = Routing.Solution.mesh solution in
+  let nlinks = Noc.Mesh.num_links mesh in
+  let loads = Routing.Solution.loads solution in
+  let rate = Array.init nlinks (fun l -> link_rate config model (Noc.Load.get loads l)) in
+  let vcs = config.Config.num_vcs in
+  let injectors =
+    Array.of_list
+      (List.map
+         (fun (r : Routing.Solution.route) ->
+           let total = r.comm.Traffic.Communication.rate in
+           {
+             comm = r.comm;
+             paths =
+               Array.of_list
+                 (List.map
+                    (fun (p, share) -> (path_links mesh p, share /. total))
+                    r.paths);
+             flit_rate = total /. model.Power.Model.capacity;
+             acc = 0.;
+             sent_per_path = Array.make (List.length r.paths) 0.;
+             pending = Queue.create ();
+             emit_count = 0;
+             emit_vc = -1;
+             injected = 0;
+             delivered = 0;
+             flits_delivered = 0;
+             escaped_done = 0;
+             latency_sum = 0;
+             latencies = [];
+           })
+         (Routing.Solution.routes solution))
+  in
+  let injectors_at = Hashtbl.create 16 in
+  Array.iteri
+    (fun i inj ->
+      let core = inj.comm.Traffic.Communication.src in
+      let prev = Option.value ~default:[] (Hashtbl.find_opt injectors_at core) in
+      Hashtbl.replace injectors_at core (prev @ [ i ]))
+    injectors;
+  let inputs_of =
+    Array.init nlinks (fun l ->
+        let src = (Noc.Mesh.link_of_id mesh l).Noc.Mesh.src in
+        List.filter_map
+          (fun nb ->
+            let inl = Noc.Mesh.link ~src:nb ~dst:src in
+            Some (Noc.Mesh.link_id mesh inl))
+          (Noc.Mesh.neighbors mesh src))
+  in
+  {
+    config;
+    mesh;
+    nlinks;
+    rate;
+    credit = Array.make nlinks 0.;
+    queue = Array.init nlinks (fun _ -> Array.init vcs (fun _ -> Queue.create ()));
+    space = Array.make_matrix nlinks vcs config.Config.buffer_flits;
+    owner = Array.make_matrix nlinks vcs (-1);
+    next_alloc = Array.make_matrix nlinks vcs None;
+    wait = Array.make_matrix nlinks vcs 0;
+    inputs_of;
+    injectors;
+    injectors_at;
+    packets = Hashtbl.create 256;
+    rr = Array.make nlinks 0;
+    next_packet_id = 0;
+    cycle = 0;
+    flits_in_flight = 0;
+    last_progress = 0;
+    measuring = false;
+    measured_cycles = 0;
+    flits_moved = 0;
+    link_flits = Array.make nlinks 0;
+    ran = false;
+    observer = None;
+  }
+
+let set_observer t f = t.observer <- Some f
+
+let emit t event =
+  match t.observer with Some f -> f event | None -> ()
+
+(* Index of link [l] on the packet's route (routes never repeat a link). *)
+let hop_index pkt l =
+  let rec go i =
+    if i >= Array.length pkt.route then -1
+    else if pkt.route.(i) = l then i
+    else go (i + 1)
+  in
+  go 0
+
+let escape_vc_of t = t.config.Config.num_vcs - 1
+
+let normal_vcs t =
+  if t.config.Config.escape_vc then t.config.Config.num_vcs - 1
+  else t.config.Config.num_vcs
+
+let allowed_vcs t pkt =
+  if pkt.escaped then [ escape_vc_of t ]
+  else List.init (normal_vcs t) Fun.id
+
+(* ---------------- injection ---------------- *)
+
+let choose_path inj =
+  (* Deficit rule: the path whose delivered share lags the most. *)
+  let n = Array.length inj.paths in
+  let best = ref 0 and best_deficit = ref neg_infinity in
+  for i = 0 to n - 1 do
+    let _, share = inj.paths.(i) in
+    let deficit =
+      (share *. float_of_int (inj.injected + 1)) -. inj.sent_per_path.(i)
+    in
+    if deficit > !best_deficit then begin
+      best := i;
+      best_deficit := deficit
+    end
+  done;
+  !best
+
+let inject_new_packets t =
+  Array.iteri
+    (fun inj_idx inj ->
+      inj.acc <- inj.acc +. inj.flit_rate;
+      let pf = float_of_int t.config.Config.packet_flits in
+      while
+        inj.acc >= pf
+        && Queue.length inj.pending < t.config.Config.max_pending_packets
+      do
+        inj.acc <- inj.acc -. pf;
+        let path_idx = choose_path inj in
+        let route, _ = inj.paths.(path_idx) in
+        inj.sent_per_path.(path_idx) <- inj.sent_per_path.(path_idx) +. 1.;
+        let pkt =
+          {
+            id = t.next_packet_id;
+            comm_idx = inj_idx;
+            route = Array.copy route;
+            injected_at = t.cycle;
+            escaped = false;
+          }
+        in
+        t.next_packet_id <- t.next_packet_id + 1;
+        Hashtbl.replace t.packets pkt.id pkt;
+        Queue.push pkt inj.pending;
+        inj.injected <- inj.injected + 1;
+        emit t
+          (Injected
+             { cycle = t.cycle; comm_id = inj.comm.Traffic.Communication.id;
+               packet = pkt.id })
+      done;
+      (* Without pending room the offered load is dropped: saturation. *)
+      if inj.acc >= pf then inj.acc <- pf)
+    t.injectors
+
+(* ---------------- ejection ---------------- *)
+
+let eject t =
+  for l = 0 to t.nlinks - 1 do
+    for v = 0 to t.config.Config.num_vcs - 1 do
+      let q = t.queue.(l).(v) in
+      if not (Queue.is_empty q) then begin
+        let f = Queue.peek q in
+        if f.stamp + t.config.Config.router_latency <= t.cycle then begin
+          let pkt = Hashtbl.find t.packets f.pkt in
+          let idx = hop_index pkt l in
+          if idx = Array.length pkt.route - 1 then begin
+            (* Arrived: consume one flit per cycle per stream. *)
+            ignore (Queue.pop q);
+            t.space.(l).(v) <- t.space.(l).(v) + 1;
+            t.flits_in_flight <- t.flits_in_flight - 1;
+            t.last_progress <- t.cycle;
+            let inj = t.injectors.(pkt.comm_idx) in
+            if t.measuring then inj.flits_delivered <- inj.flits_delivered + 1;
+            if f.is_tail then begin
+              t.owner.(l).(v) <- -1;
+              t.next_alloc.(l).(v) <- None;
+              inj.delivered <- inj.delivered + 1;
+              if pkt.escaped then inj.escaped_done <- inj.escaped_done + 1;
+              let lat = t.cycle - pkt.injected_at in
+              inj.latency_sum <- inj.latency_sum + lat;
+              if t.measuring then inj.latencies <- lat :: inj.latencies;
+              emit t
+                (Delivered
+                   { cycle = t.cycle;
+                     comm_id = inj.comm.Traffic.Communication.id;
+                     packet = pkt.id; latency = lat });
+              Hashtbl.remove t.packets pkt.id
+            end
+          end
+        end
+      end
+    done
+  done
+
+(* ---------------- switch arbitration ---------------- *)
+
+type requester = From of int * int | Inject of int
+
+(* Whether the requester has a flit ready to cross [l_out] now, and the
+   output VC to use; performs VC allocation for head flits. *)
+let try_transfer t l_out req =
+  let allocate pkt =
+    let rec find = function
+      | [] -> None
+      | w :: rest ->
+          if t.owner.(l_out).(w) = -1 && t.space.(l_out).(w) >= 1 then Some w
+          else find rest
+    in
+    find (allowed_vcs t pkt)
+  in
+  let deliver flit out_vc ~on_sent =
+    Queue.push flit t.queue.(l_out).(out_vc);
+    flit.stamp <- t.cycle;
+    t.space.(l_out).(out_vc) <- t.space.(l_out).(out_vc) - 1;
+    if flit.is_head then t.owner.(l_out).(out_vc) <- flit.pkt;
+    t.credit.(l_out) <- t.credit.(l_out) -. 1.;
+    t.flits_moved <- t.flits_moved + 1;
+    if t.measuring then t.link_flits.(l_out) <- t.link_flits.(l_out) + 1;
+    t.last_progress <- t.cycle;
+    on_sent ()
+  in
+  match req with
+  | From (l_in, v) ->
+      let q = t.queue.(l_in).(v) in
+      if Queue.is_empty q then false
+      else begin
+        let f = Queue.peek q in
+        if f.stamp + t.config.Config.router_latency > t.cycle then false
+        else begin
+          let pkt = Hashtbl.find t.packets f.pkt in
+          let idx = hop_index pkt l_in in
+          if idx < 0 || idx + 1 >= Array.length pkt.route then false
+          else if pkt.route.(idx + 1) <> l_out then false
+          else begin
+            let out_vc =
+              match t.next_alloc.(l_in).(v) with
+              | Some (lo, w) when lo = l_out -> if f.is_head then None else Some w
+              | Some _ -> None
+              | None -> if f.is_head then allocate pkt else None
+            in
+            match out_vc with
+            | None -> false
+            | Some w ->
+                if t.space.(l_out).(w) < 1 then false
+                else begin
+                  ignore (Queue.pop q);
+                  t.space.(l_in).(v) <- t.space.(l_in).(v) + 1;
+                  t.wait.(l_in).(v) <- 0;
+                  if f.is_head then t.next_alloc.(l_in).(v) <- Some (l_out, w);
+                  if f.is_tail then begin
+                    t.owner.(l_in).(v) <- -1;
+                    t.next_alloc.(l_in).(v) <- None
+                  end;
+                  deliver f w ~on_sent:(fun () -> ());
+                  true
+                end
+          end
+        end
+      end
+  | Inject ci ->
+      let inj = t.injectors.(ci) in
+      if Queue.is_empty inj.pending then false
+      else begin
+        let pkt = Queue.peek inj.pending in
+        if pkt.route.(0) <> l_out then false
+        else begin
+          let pf = t.config.Config.packet_flits in
+          let is_head = inj.emit_count = 0 in
+          let out_vc =
+            if is_head then allocate pkt
+            else if inj.emit_vc >= 0 then Some inj.emit_vc
+            else None
+          in
+          match out_vc with
+          | None -> false
+          | Some w ->
+              if t.space.(l_out).(w) < 1 then false
+              else begin
+                let is_tail = inj.emit_count = pf - 1 in
+                let f = { pkt = pkt.id; is_head; is_tail; stamp = t.cycle } in
+                if is_head then inj.emit_vc <- w;
+                inj.emit_count <- inj.emit_count + 1;
+                t.flits_in_flight <- t.flits_in_flight + 1;
+                if is_tail then begin
+                  ignore (Queue.pop inj.pending);
+                  inj.emit_count <- 0;
+                  inj.emit_vc <- -1
+                end;
+                deliver f w ~on_sent:(fun () -> ());
+                true
+              end
+        end
+      end
+
+let arbitrate t =
+  for l_out = 0 to t.nlinks - 1 do
+    t.credit.(l_out) <- Float.min 2. (t.credit.(l_out) +. t.rate.(l_out));
+    if t.credit.(l_out) >= 1. then begin
+      let src = (Noc.Mesh.link_of_id t.mesh l_out).Noc.Mesh.src in
+      let requesters =
+        List.concat
+          [
+            List.concat_map
+              (fun l_in ->
+                List.init t.config.Config.num_vcs (fun v -> From (l_in, v)))
+              t.inputs_of.(l_out);
+            List.map
+              (fun ci -> Inject ci)
+              (Option.value ~default:[] (Hashtbl.find_opt t.injectors_at src));
+          ]
+      in
+      let n = List.length requesters in
+      if n > 0 then begin
+        let arr = Array.of_list requesters in
+        let start = t.rr.(l_out) mod n in
+        let rec go k =
+          if k < n then begin
+            let i = (start + k) mod n in
+            if try_transfer t l_out arr.(i) then t.rr.(l_out) <- i + 1
+            else go (k + 1)
+          end
+        in
+        go 0
+      end
+    end
+  done
+
+(* ---------------- escape ---------------- *)
+
+let reroute_via_xy t pkt current_core =
+  let comm = t.injectors.(pkt.comm_idx).comm in
+  let snk = comm.Traffic.Communication.snk in
+  if Noc.Coord.equal current_core snk then ()
+  else begin
+    let xy = Noc.Path.xy ~src:current_core ~snk in
+    let tail_ids = path_links t.mesh xy in
+    let idx =
+      (* Links already traversed: everything up to the current position. *)
+      let rec find i =
+        if i >= Array.length pkt.route then Array.length pkt.route - 1
+        else
+          let l = pkt.route.(i) in
+          if Noc.Coord.equal (Noc.Mesh.link_of_id t.mesh l).Noc.Mesh.dst current_core
+          then i
+          else find (i + 1)
+      in
+      find 0
+    in
+    pkt.route <- Array.append (Array.sub pkt.route 0 (idx + 1)) tail_ids;
+    pkt.escaped <- true
+  end
+
+let trigger_escapes t =
+  if t.config.Config.escape_vc then
+    for l = 0 to t.nlinks - 1 do
+      for v = 0 to t.config.Config.num_vcs - 1 do
+        let q = t.queue.(l).(v) in
+        if
+          (not (Queue.is_empty q))
+          && (Queue.peek q).is_head
+          && t.next_alloc.(l).(v) = None
+        then begin
+          t.wait.(l).(v) <- t.wait.(l).(v) + 1;
+          let f = Queue.peek q in
+          let pkt = Hashtbl.find t.packets f.pkt in
+          if
+            t.wait.(l).(v) >= t.config.Config.escape_patience
+            && (not pkt.escaped)
+            && v <> escape_vc_of t
+          then begin
+            reroute_via_xy t pkt (Noc.Mesh.link_of_id t.mesh l).Noc.Mesh.dst;
+            emit t
+              (Escaped
+                 { cycle = t.cycle;
+                   comm_id = t.injectors.(pkt.comm_idx).comm.Traffic.Communication.id;
+                   packet = pkt.id });
+            t.wait.(l).(v) <- 0
+          end
+        end
+        else t.wait.(l).(v) <- 0
+      done
+    done
+
+(* ---------------- main loop ---------------- *)
+
+let step t =
+  t.cycle <- t.cycle + 1;
+  inject_new_packets t;
+  eject t;
+  arbitrate t;
+  trigger_escapes t;
+  if t.measuring then t.measured_cycles <- t.measured_cycles + 1
+
+type comm_stats = {
+  comm : Traffic.Communication.t;
+  packets_injected : int;
+  packets_delivered : int;
+  flits_delivered : int;
+  escaped_packets : int;
+  mean_latency : float;
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
+  requested_rate : float;
+  delivered_rate : float;
+}
+
+type report = {
+  cycles : int;
+  comms : comm_stats list;
+  flits_moved : int;
+  deadlocked : bool;
+  max_link_utilization : float;
+  link_utilization : (int * float) array;
+      (* per link id, measured flits per cycle, id order *)
+}
+
+(* Nearest-rank percentile of the recorded latencies. *)
+let percentile latencies q =
+  match latencies with
+  | [] -> Float.nan
+  | l ->
+      let a = Array.of_list l in
+      Array.sort Int.compare a;
+      let n = Array.length a in
+      let rank = int_of_float (ceil (q *. float_of_int n)) in
+      float_of_int a.(max 0 (min (n - 1) (rank - 1)))
+
+let run ?warmup t ~cycles =
+  if t.ran then invalid_arg "Sim.Network.run: already run";
+  t.ran <- true;
+  let warmup = match warmup with Some w -> w | None -> cycles / 5 in
+  let deadlocked = ref false in
+  let window = t.config.Config.deadlock_window in
+  let total = warmup + cycles in
+  (try
+     for c = 1 to total do
+       if c = warmup + 1 then begin
+         t.measuring <- true;
+         (* Reset measured counters at the warmup boundary. *)
+         Array.iter
+           (fun (inj : injector) ->
+             inj.flits_delivered <- 0;
+             inj.delivered <- 0;
+             inj.escaped_done <- 0;
+             inj.latency_sum <- 0;
+             inj.latencies <- [];
+             inj.injected <- 0)
+           t.injectors;
+         Array.fill t.link_flits 0 t.nlinks 0
+       end;
+       step t;
+       if t.flits_in_flight > 0 && t.cycle - t.last_progress > window then begin
+         deadlocked := true;
+         emit t (Deadlock { cycle = t.cycle });
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let measured = max 1 t.measured_cycles in
+  let cap = ref 0. in
+  Array.iteri
+    (fun l n ->
+      let u = float_of_int n /. float_of_int measured in
+      ignore l;
+      if u > !cap then cap := u)
+    t.link_flits;
+  {
+    cycles = measured;
+    comms =
+      Array.to_list
+        (Array.map
+           (fun (inj : injector) ->
+             {
+               comm = inj.comm;
+               packets_injected = inj.injected;
+               packets_delivered = inj.delivered;
+               flits_delivered = inj.flits_delivered;
+               escaped_packets = inj.escaped_done;
+               mean_latency =
+                 (if inj.delivered = 0 then Float.nan
+                  else float_of_int inj.latency_sum /. float_of_int inj.delivered);
+               latency_p50 = percentile inj.latencies 0.50;
+               latency_p95 = percentile inj.latencies 0.95;
+               latency_p99 = percentile inj.latencies 0.99;
+               requested_rate = inj.comm.Traffic.Communication.rate;
+               delivered_rate =
+                 float_of_int inj.flits_delivered
+                 /. float_of_int measured
+                 *. (inj.comm.Traffic.Communication.rate /. inj.flit_rate);
+             })
+           t.injectors);
+    flits_moved = t.flits_moved;
+    deadlocked = !deadlocked;
+    max_link_utilization = !cap;
+    link_utilization =
+      Array.mapi
+        (fun l n -> (l, float_of_int n /. float_of_int measured))
+        t.link_flits;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>sim: %d measured cycles, %d flit moves%s@,"
+    r.cycles r.flits_moved
+    (if r.deadlocked then " [DEADLOCK]" else "");
+  List.iter
+    (fun s ->
+      Format.fprintf ppf
+        "  %a: delivered %.0f/%.0f Mb/s, %d pkts, latency %.1f, escaped %d@,"
+        Traffic.Communication.pp s.comm s.delivered_rate s.requested_rate
+        s.packets_delivered s.mean_latency s.escaped_packets)
+    r.comms;
+  Format.fprintf ppf "max link utilization: %.3f@]" r.max_link_utilization

@@ -1,0 +1,1 @@
+lib/theory/construction_lem2.ml: Evaluate List Noc Routing Traffic Xy

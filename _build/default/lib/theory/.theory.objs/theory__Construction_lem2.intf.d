@@ -1,0 +1,1 @@
+lib/theory/construction_lem2.mli: Noc Power Routing Solution Traffic

@@ -1,0 +1,1 @@
+lib/theory/construction_thm1.ml: Noc Power Routing

@@ -1,0 +1,1 @@
+lib/theory/construction_thm1.mli: Noc Power

@@ -1,0 +1,1 @@
+lib/theory/counting.ml: Array Noc Traffic

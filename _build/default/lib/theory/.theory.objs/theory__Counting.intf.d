@@ -1,0 +1,1 @@
+lib/theory/counting.mli: Traffic

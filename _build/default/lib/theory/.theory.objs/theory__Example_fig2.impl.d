@@ -1,0 +1,1 @@
+lib/theory/example_fig2.ml: Evaluate Noc Power Routing Solution Traffic

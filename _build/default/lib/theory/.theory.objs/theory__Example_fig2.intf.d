@@ -1,0 +1,1 @@
+lib/theory/example_fig2.mli: Noc Power Routing Solution Traffic

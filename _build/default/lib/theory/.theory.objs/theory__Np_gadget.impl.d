@@ -1,0 +1,1 @@
+lib/theory/np_gadget.ml: Array List Noc Option Power Routing Solution Traffic

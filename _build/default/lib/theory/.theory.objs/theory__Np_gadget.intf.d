@@ -1,0 +1,1 @@
+lib/theory/np_gadget.mli: Noc Power Routing Solution Traffic

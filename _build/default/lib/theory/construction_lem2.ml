@@ -1,0 +1,32 @@
+open Routing
+
+let instance ~p' =
+  if p' < 1 then invalid_arg "Construction_lem2.instance: p' < 1";
+  let mesh = Noc.Mesh.square (p' + 1) in
+  let comms =
+    List.init p' (fun i ->
+        let i = i + 1 in
+        Traffic.Communication.make ~id:(i - 1)
+          ~src:(Noc.Coord.make ~row:1 ~col:i)
+          ~snk:(Noc.Coord.make ~row:i ~col:(p' + 1))
+          ~rate:1.)
+  in
+  (mesh, comms)
+
+(* gamma_1 joins (1,1) to (1, p'+1): a flat path, identical under XY and
+   YX, which is why the instance uses i >= 1 and the ratio still holds. *)
+let xy_solution ~p' =
+  let mesh, comms = instance ~p' in
+  Xy.route mesh comms
+
+let yx_solution ~p' =
+  let mesh, comms = instance ~p' in
+  Xy.route_yx mesh comms
+
+let powers model ~p' =
+  ( Evaluate.power_exn model (xy_solution ~p'),
+    Evaluate.power_exn model (yx_solution ~p') )
+
+let ratio model ~p' =
+  let pxy, pyx = powers model ~p' in
+  pxy /. pyx

@@ -1,0 +1,24 @@
+(** The worst-case 1-MP instance of Lemma 2 (tightness of Theorem 2).
+
+    On a [(p'+1) x (p'+1)] CMP, the [p'] unit communications
+    [gamma_i = (C(1,i), C(i, p'+1), 1)] cost
+    [Theta(p^(alpha+1))] under XY routing (exactly
+    [sum_(i<=p') i^alpha + sum_(i<p') i^alpha]; the paper quotes the
+    asymptotic form [2 sum i^alpha]) but only [Theta(p^2)] under the YX
+    routing ([p'^2] disjoint unit links; the paper quotes [p'(p'+1)]), so
+    even single-path Manhattan routing beats XY by [Theta(p^(alpha-1))]. *)
+
+open Routing
+
+val instance : p':int -> Noc.Mesh.t * Traffic.Communication.t list
+(** @raise Invalid_argument if [p' < 1]. *)
+
+val xy_solution : p':int -> Solution.t
+val yx_solution : p':int -> Solution.t
+
+val powers : Power.Model.t -> p':int -> float * float
+(** [(P_XY, P_YX)], evaluated (both are always feasible for a model with
+    capacity at least [p']). *)
+
+val ratio : Power.Model.t -> p':int -> float
+(** [P_XY / P_YX] — grows as [p^(alpha-1)]. *)

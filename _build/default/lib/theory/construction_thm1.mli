@@ -1,0 +1,26 @@
+(** The explicit max-MP flow of Theorem 1's tightness proof.
+
+    On a square [p x p] CMP with [p = 2 p'], all communications go from
+    [C(1,1)] to [C(p,p)], with total size [K]. The paper's routing pattern
+    sends, on odd diagonals, [h_k = K/k] rightward from each of the [k]
+    cores, and splits on even diagonals into
+    [r_kj = (k+1-j) K / (k (k+1))] rightward and [d_kj = j K / (k (k+1))]
+    downward; the second half of the chip mirrors the first across the main
+    anti-diagonal. The resulting dynamic power is [O(K^alpha)] while XY pays
+    [(2p - 2) K^alpha], so the ratio grows as [Theta(p)]. *)
+
+val loads : p':int -> total:float -> Noc.Load.t
+(** The link loads of the construction on a [2p' x 2p'] mesh for total
+    communication size [total].
+    @raise Invalid_argument if [p' < 1]. *)
+
+val power : Power.Model.t -> p':int -> total:float -> float
+(** Power of the construction ([P_leak] and frequency mode honoured:
+    leakage counts once per active link). *)
+
+val xy_power : Power.Model.t -> p':int -> total:float -> float
+(** Power of routing everything on the single XY path:
+    [(2p-2)] links at load [total]. *)
+
+val ratio : Power.Model.t -> p':int -> total:float -> float
+(** [xy_power / power] — grows linearly in [p'] (Theorem 1). *)

@@ -1,0 +1,30 @@
+open Routing
+
+let mesh = Noc.Mesh.square 2
+let model = Power.Model.make ~p_leak:0. ~p0:1. ~alpha:3. ~capacity:4. ()
+let c11 = Noc.Coord.make ~row:1 ~col:1
+let c22 = Noc.Coord.make ~row:2 ~col:2
+let gamma1 = Traffic.Communication.make ~id:0 ~src:c11 ~snk:c22 ~rate:1.
+let gamma2 = Traffic.Communication.make ~id:1 ~src:c11 ~snk:c22 ~rate:3.
+let comms = [ gamma1; gamma2 ]
+let xy = Noc.Path.xy ~src:c11 ~snk:c22
+let yx = Noc.Path.yx ~src:c11 ~snk:c22
+
+let xy_routing () =
+  Solution.make mesh
+    [ Solution.route_single gamma1 xy; Solution.route_single gamma2 xy ]
+
+let best_1mp () =
+  Solution.make mesh
+    [ Solution.route_single gamma1 xy; Solution.route_single gamma2 yx ]
+
+let best_2mp () =
+  Solution.make mesh
+    [
+      Solution.route_single gamma1 xy;
+      Solution.route_multi gamma2 [ (xy, 1.); (yx, 2.) ];
+    ]
+
+let powers () =
+  let power s = Evaluate.power_exn model s in
+  (power (xy_routing ()), power (best_1mp ()), power (best_2mp ()))

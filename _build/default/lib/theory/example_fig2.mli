@@ -1,0 +1,25 @@
+(** The worked example of Figure 2 / Section 3.5.
+
+    On a 2x2 CMP with [P_leak = 0], [P0 = 1], [alpha = 3], [BW = 4], two
+    communications from [C(1,1)] to [C(2,2)] of sizes 1 and 3 give
+    [P_XY = 128], best single-path [P_1MP = 56], and best 2-path
+    [P_2MP = 32]. All three routings are materialized here and their powers
+    are asserted by the test suite. *)
+
+val mesh : Noc.Mesh.t
+val model : Power.Model.t
+val comms : Traffic.Communication.t list
+
+open Routing
+
+val xy_routing : unit -> Solution.t
+(** Both communications on the XY path — power 128. *)
+
+val best_1mp : unit -> Solution.t
+(** Size-1 on XY, size-3 on YX — power 56 (optimal single-path). *)
+
+val best_2mp : unit -> Solution.t
+(** Size-3 split into 1 + 2; each L-path carries 2 — power 32. *)
+
+val powers : unit -> float * float * float
+(** [(128., 56., 32.)], computed (not hard-coded) from the three routings. *)

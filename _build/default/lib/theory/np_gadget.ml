@@ -1,0 +1,119 @@
+open Routing
+
+type t = {
+  values : int array;
+  s : int;
+  mesh : Noc.Mesh.t;
+  bandwidth : float;
+  comms : Traffic.Communication.t list;
+}
+
+let build ~s values =
+  let n = Array.length values in
+  if s < 2 then invalid_arg "Np_gadget.build: s < 2";
+  if n = 0 then invalid_arg "Np_gadget.build: empty instance";
+  Array.iter
+    (fun a -> if a <= 0 then invalid_arg "Np_gadget.build: value <= 0")
+    values;
+  let sum = Array.fold_left ( + ) 0 values in
+  if sum mod 2 <> 0 then invalid_arg "Np_gadget.build: odd sum";
+  let q = ((s - 1) * n) + 2 in
+  let mesh = Noc.Mesh.create ~rows:2 ~cols:q in
+  let bandwidth = float_of_int ((sum / 2) + ((s - 1) * n)) in
+  let core row col = Noc.Coord.make ~row ~col in
+  let traversing =
+    List.init n (fun i ->
+        Traffic.Communication.make ~id:i
+          ~src:(core 1 (((i * (s - 1)) + 1)))
+          ~snk:(core 2 q)
+          ~rate:(float_of_int (values.(i) + s - 1)))
+  in
+  let one_hop =
+    List.init q (fun j ->
+        let col = j + 1 in
+        let rate =
+          if col <= q - 2 then bandwidth -. 1.
+          else bandwidth -. float_of_int (sum / 2)
+        in
+        Traffic.Communication.make ~id:(n + j) ~src:(core 1 col)
+          ~snk:(core 2 col) ~rate)
+  in
+  { values; s; mesh; bandwidth; comms = traversing @ one_hop }
+
+let model t =
+  Power.Model.make ~p_leak:0. ~p0:1. ~alpha:3. ~capacity:t.bandwidth ()
+
+(* Path of a traversing communication that descends at column [c]. *)
+let descend_at (comm : Traffic.Communication.t) c =
+  let src_col = comm.src.Noc.Coord.col and q = comm.snk.Noc.Coord.col in
+  let top = List.init (c - src_col + 1) (fun i -> (1, src_col + i))
+  and bottom = List.init (q - c) (fun i -> (2, c + i + 1)) in
+  let cores =
+    List.map (fun (row, col) -> Noc.Coord.make ~row ~col) (top @ [ (2, c) ] @ bottom)
+    |> Array.of_list
+  in
+  Noc.Path.of_cores cores
+
+let solution_of_partition t subset =
+  let n = Array.length t.values in
+  if Array.length subset <> n then
+    invalid_arg "Np_gadget.solution_of_partition: indicator length";
+  let q = Noc.Mesh.cols t.mesh in
+  let routes =
+    List.map
+      (fun (comm : Traffic.Communication.t) ->
+        if comm.id < n then begin
+          let i = comm.id in
+          let src_col = (i * (t.s - 1)) + 1 in
+          let unit_parts =
+            List.init (t.s - 1) (fun k ->
+                (descend_at comm (src_col + k), 1.))
+          in
+          let remainder_col = if subset.(i) then q - 1 else q in
+          let remainder =
+            (descend_at comm remainder_col, float_of_int t.values.(i))
+          in
+          Solution.route_multi comm (unit_parts @ [ remainder ])
+        end
+        else
+          (* One-hop filler: the unique (vertical) Manhattan path. *)
+          Solution.route_single comm
+            (Noc.Path.yx ~src:comm.src ~snk:comm.snk))
+      t.comms
+  in
+  Solution.make t.mesh routes
+
+(* Feasibility of the witness on row 1: the hop entering column c carries
+   every earlier remainder plus the current communication's undropped unit
+   parts (at most s-2 of them), so the binding constraint is
+   S + s - 2 <= BW = S/2 + (s-1) n, i.e. (s-1)(n-1) + 1 >= S/2. *)
+let min_s values =
+  let n = Array.length values in
+  let sum = Array.fold_left ( + ) 0 values in
+  let need = max 0 ((sum / 2) - 1) in
+  let denom = max 1 (n - 1) in
+  max 2 (1 + ((need + denom - 1) / denom))
+
+let find_partition values =
+  let n = Array.length values in
+  if n > 24 then invalid_arg "Np_gadget.find_partition: n > 24";
+  let sum = Array.fold_left ( + ) 0 values in
+  if sum mod 2 <> 0 then None
+  else begin
+    let target = sum / 2 in
+    let rec search mask =
+      if mask >= 1 lsl n then None
+      else begin
+        let total = ref 0 in
+        for i = 0 to n - 1 do
+          if mask land (1 lsl i) <> 0 then total := !total + values.(i)
+        done;
+        if !total = target then
+          Some (Array.init n (fun i -> mask land (1 lsl i) <> 0))
+        else search (mask + 1)
+      end
+    in
+    search 0
+  end
+
+let solvable t = Option.is_some (find_partition t.values)

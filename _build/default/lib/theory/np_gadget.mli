@@ -1,0 +1,55 @@
+(** The NP-completeness gadget of Theorem 3.
+
+    From a 2-Partition instance [a_1 .. a_n] (and a path bound [s >= 2]),
+    build the routing instance of the proof: a [2 x ((s-1) n + 2)] CMP with
+    link bandwidth [BW = S/2 + (s-1) n], [n] traversing communications
+    [gamma_i = (C(1, (i-1)(s-1)+1), C(2, q), a_i + s - 1)] and [q] one-hop
+    vertical fillers that saturate every column. A bandwidth-feasible s-MP
+    routing exists if and only if the 2-Partition instance has a solution.
+
+    The module builds the gadget, constructs the witness routing from a
+    partition, and (for small [n]) decides 2-Partition exhaustively so the
+    equivalence can be tested. *)
+
+open Routing
+
+type t = private {
+  values : int array;  (** The 2-Partition values [a_i]. *)
+  s : int;
+  mesh : Noc.Mesh.t;  (** [2 x ((s-1) n + 2)]. *)
+  bandwidth : float;  (** [BW = S/2 + (s-1) n]. *)
+  comms : Traffic.Communication.t list;
+      (** The [n] traversing then the [q] one-hop communications. *)
+}
+
+val build : s:int -> int array -> t
+(** @raise Invalid_argument if [s < 2], the array is empty, some value is
+    non-positive, or the sum is odd (odd sums make 2-Partition trivially
+    false but the gadget's bandwidths fractional; use an even sum). *)
+
+val model : t -> Power.Model.t
+(** A continuous model whose capacity is the gadget's bandwidth (power
+    constants are irrelevant: the reduction is about feasibility). *)
+
+val solution_of_partition : t -> bool array -> Solution.t
+(** The witness s-MP routing built from a subset indicator [I] (as in the
+    proof: unit shares cross on the dedicated columns, the [a_i] remainder
+    crosses on column [q-1] when [i] is in [I], on column [q] otherwise).
+    It is bandwidth-feasible iff [I] is a perfect partition.
+    @raise Invalid_argument if the indicator length differs from [n]. *)
+
+val min_s : int array -> int
+(** The smallest path bound [s] for which the witness routing of
+    {!solution_of_partition} also fits the {e horizontal} links of row 1: a
+    hop carries every earlier remainder plus up to [s-2] undropped unit
+    parts, so the least [s >= 2] with [(s-1)(n-1) + 1 >= S/2] works. The
+    paper's proof checks vertical links only; building gadgets with
+    [s >= min_s] makes the equivalence hold under the uniform-capacity
+    model (see DESIGN.md). *)
+
+val find_partition : int array -> bool array option
+(** Exhaustive 2-Partition solver (meet-in-the-middle-free, [O(2^n)]);
+    intended for [n <= 24]. *)
+
+val solvable : t -> bool
+(** Whether the underlying 2-Partition instance has a solution. *)

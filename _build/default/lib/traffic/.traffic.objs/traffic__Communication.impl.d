@@ -1,0 +1,1 @@
+lib/traffic/communication.ml: Float Format Int List Noc

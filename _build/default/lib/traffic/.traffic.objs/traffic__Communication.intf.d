@@ -1,0 +1,1 @@
+lib/traffic/communication.mli: Format Noc

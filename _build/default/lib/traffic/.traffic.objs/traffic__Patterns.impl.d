@@ -1,0 +1,1 @@
+lib/traffic/patterns.ml: Array Communication Format List Noc Rng String Workload

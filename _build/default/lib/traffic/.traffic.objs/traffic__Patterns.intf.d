@@ -1,0 +1,1 @@
+lib/traffic/patterns.mli: Communication Noc Rng Workload

@@ -1,0 +1,1 @@
+lib/traffic/rng.ml: Array Float Int64

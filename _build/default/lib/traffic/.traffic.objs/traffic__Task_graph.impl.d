@@ -1,0 +1,1 @@
+lib/traffic/task_graph.ml: Array Communication Fun Hashtbl List Noc Rng

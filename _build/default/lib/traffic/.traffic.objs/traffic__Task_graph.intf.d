@@ -1,0 +1,1 @@
+lib/traffic/task_graph.mli: Communication Noc Rng

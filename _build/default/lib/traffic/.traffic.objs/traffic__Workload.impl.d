@@ -1,0 +1,1 @@
+lib/traffic/workload.ml: Array Communication Float List Noc Printf Rng

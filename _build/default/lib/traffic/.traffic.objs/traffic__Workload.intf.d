@@ -1,0 +1,1 @@
+lib/traffic/workload.mli: Communication Noc Rng

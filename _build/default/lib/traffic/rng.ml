@@ -1,0 +1,56 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* SplitMix64 (Steele, Lea, Flood 2014): one additive step plus a 64-bit
+   finalizer; passes BigCrush and splits cleanly. *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t = { state = bits64 t }
+
+let float t =
+  let x = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float x *. 0x1p-53
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound <= 0";
+  (* Rejection-free for our small bounds: floating multiply is uniform
+     enough for n << 2^53 and keeps the hot path branch-free. *)
+  let i = int_of_float (float t *. float_of_int n) in
+  if i >= n then n - 1 else i
+
+let range t ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let uniform t ~lo ~hi = lo +. (float t *. (hi -. lo))
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let gaussian t ~mean ~stddev =
+  let u1 = Float.max epsilon_float (float t) and u2 = float t in
+  mean
+  +. stddev
+     *. sqrt (-2. *. log u1)
+     *. cos (2. *. Float.pi *. u2)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))

@@ -1,0 +1,43 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every randomized component of the project draws from this generator so
+    that workloads, heuristic tie-breaks and simulations are reproducible
+    from a single integer seed, independently of the OCaml stdlib [Random]
+    state. *)
+
+type t
+
+val create : int -> t
+(** A fresh generator from a seed. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing) the
+    parent — handy to give each Monte-Carlo trial its own stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)], with 53 bits of precision. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n-1]].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val range : t -> lo:int -> hi:int -> int
+(** Uniform in the inclusive range [\[lo, hi\]]. *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [\[lo, hi)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)

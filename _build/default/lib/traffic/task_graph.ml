@@ -1,0 +1,105 @@
+type task = { tid : int; work : float }
+type edge = { from_task : int; to_task : int; rate : float }
+type t = { name : string; tasks : task array; edges : edge list }
+
+let make ~name ~tasks ~edges =
+  let n = Array.length tasks in
+  List.iter
+    (fun e ->
+      if e.from_task < 0 || e.from_task >= n || e.to_task < 0 || e.to_task >= n
+      then invalid_arg "Task_graph.make: dangling edge";
+      if e.from_task = e.to_task then invalid_arg "Task_graph.make: self-edge";
+      if e.rate <= 0. then invalid_arg "Task_graph.make: rate <= 0")
+    edges;
+  { name; tasks; edges }
+
+let name t = t.name
+let num_tasks t = Array.length t.tasks
+let edges t = t.edges
+let default_task tid = { tid; work = 1. }
+
+let chain ?(name = "chain") ~n ~rate () =
+  if n < 2 then invalid_arg "Task_graph.chain: n < 2";
+  make ~name
+    ~tasks:(Array.init n default_task)
+    ~edges:(List.init (n - 1) (fun i -> { from_task = i; to_task = i + 1; rate }))
+
+let fork_join ?(name = "fork-join") ~width ~rate () =
+  if width < 1 then invalid_arg "Task_graph.fork_join: width < 1";
+  let n = width + 2 in
+  let fan_out =
+    List.init width (fun i -> { from_task = 0; to_task = i + 1; rate })
+  and fan_in =
+    List.init width (fun i -> { from_task = i + 1; to_task = n - 1; rate })
+  in
+  make ~name ~tasks:(Array.init n default_task) ~edges:(fan_out @ fan_in)
+
+let random_layered rng ?(name = "layered") ~layers ~width ~rate_lo ~rate_hi ()
+    =
+  if layers < 2 || width < 1 then
+    invalid_arg "Task_graph.random_layered: bad shape";
+  let n = layers * width in
+  let tid layer slot = (layer * width) + slot in
+  let edges = ref [] in
+  for layer = 0 to layers - 2 do
+    for slot = 0 to width - 1 do
+      let successors = if width > 1 && Rng.bool rng then 2 else 1 in
+      let chosen = Array.init width Fun.id in
+      Rng.shuffle rng chosen;
+      for s = 0 to successors - 1 do
+        edges :=
+          {
+            from_task = tid layer slot;
+            to_task = tid (layer + 1) chosen.(s);
+            rate = Rng.uniform rng ~lo:rate_lo ~hi:rate_hi;
+          }
+          :: !edges
+      done
+    done
+  done;
+  make ~name ~tasks:(Array.init n default_task) ~edges:(List.rev !edges)
+
+type mapping = int -> Noc.Coord.t
+
+let map_linear mesh ?(origin = 0) _t tid =
+  let q = Noc.Mesh.cols mesh in
+  let i = (origin + tid) mod Noc.Mesh.num_cores mesh in
+  Noc.Coord.make ~row:((i / q) + 1) ~col:((i mod q) + 1)
+
+let map_random rng mesh t =
+  let cores = Noc.Mesh.all_cores mesh in
+  if num_tasks t > Array.length cores then
+    invalid_arg "Task_graph.map_random: more tasks than cores";
+  Rng.shuffle rng cores;
+  fun tid -> cores.(tid)
+
+let communications ?(first_id = 0) t mapping =
+  (* Merge parallel task edges that land on the same ordered core pair. *)
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun e ->
+      let src = mapping e.from_task and snk = mapping e.to_task in
+      if not (Noc.Coord.equal src snk) then begin
+        let key = (src, snk) in
+        match Hashtbl.find_opt table key with
+        | Some rate -> Hashtbl.replace table key (rate +. e.rate)
+        | None ->
+            Hashtbl.add table key e.rate;
+            order := key :: !order
+      end)
+    t.edges;
+  List.rev !order
+  |> List.mapi (fun i ((src, snk) as key) ->
+         Communication.make ~id:(first_id + i) ~src ~snk
+           ~rate:(Hashtbl.find table key))
+
+let combine apps =
+  let _, comms =
+    List.fold_left
+      (fun (next_id, acc) (t, mapping) ->
+        let cs = communications ~first_id:next_id t mapping in
+        (next_id + List.length cs, acc @ cs))
+      (0, []) apps
+  in
+  comms

@@ -1,0 +1,65 @@
+(** Application task graphs and their mapping onto the CMP.
+
+    The paper positions itself at the system level: several applications,
+    each a task graph whose tasks are already mapped to cores, induce the set
+    of communications to route. This module provides task-graph shapes,
+    mapping strategies, and the collapse of mapped task edges into
+    {!Communication.t} values (parallel edges between the same core pair are
+    merged by summing their rates; edges mapped to a single core vanish). *)
+
+type task = { tid : int; work : float }
+(** A task; [work] is informational (used by mapping strategies that balance
+    load) and plays no role in routing. *)
+
+type edge = { from_task : int; to_task : int; rate : float }
+(** A producer/consumer dependency requesting [rate] Mb/s. *)
+
+type t = private { name : string; tasks : task array; edges : edge list }
+
+val make : name:string -> tasks:task array -> edges:edge list -> t
+(** @raise Invalid_argument on dangling edge endpoints, self-edges or
+    non-positive rates. *)
+
+val name : t -> string
+val num_tasks : t -> int
+val edges : t -> edge list
+
+val chain : ?name:string -> n:int -> rate:float -> unit -> t
+(** A linear pipeline of [n] tasks: [0 -> 1 -> ... -> n-1]. *)
+
+val fork_join : ?name:string -> width:int -> rate:float -> unit -> t
+(** A source task fanning out to [width] workers that all feed a sink. *)
+
+val random_layered :
+  Rng.t ->
+  ?name:string ->
+  layers:int ->
+  width:int ->
+  rate_lo:float ->
+  rate_hi:float ->
+  unit ->
+  t
+(** A layered DAG: [layers] layers of [width] tasks; every task has one or
+    two successors in the next layer with rates uniform in the band. *)
+
+(** A mapping assigns each task of an application to a core. *)
+type mapping = int -> Noc.Coord.t
+
+val map_linear : Noc.Mesh.t -> ?origin:int -> t -> mapping
+(** Row-major placement starting at the [origin]-th core (default 0),
+    wrapping around the mesh. *)
+
+val map_random : Rng.t -> Noc.Mesh.t -> t -> mapping
+(** Injective uniform placement.
+    @raise Invalid_argument if the application has more tasks than cores. *)
+
+val communications :
+  ?first_id:int -> t -> mapping -> Communication.t list
+(** Communications induced by one mapped application. Ids are assigned from
+    [first_id] (default 0) in a deterministic order. *)
+
+val combine : (t * mapping) list -> Communication.t list
+(** Communications of a whole system: several mapped applications sharing
+    the CMP. Ids are globally unique; communications between the same core
+    pair coming from {e different} applications are kept separate, as in the
+    paper's system model. *)

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Filename Float Format Harness List Noc Routing String Sys Traffic

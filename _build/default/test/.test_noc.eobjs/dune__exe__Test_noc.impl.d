@@ -1,0 +1,1 @@
+test/test_noc.ml: Alcotest Array Hashtbl List Noc Option Printf QCheck QCheck_alcotest Traffic

@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Float List Noc Optim Power QCheck QCheck_alcotest Routing Traffic

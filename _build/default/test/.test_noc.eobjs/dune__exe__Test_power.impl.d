@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Float List Power QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Float Format List Noc Optim Power QCheck QCheck_alcotest Routing String Traffic

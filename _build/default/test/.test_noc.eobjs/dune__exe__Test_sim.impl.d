@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array List Noc Power Routing Sim Traffic

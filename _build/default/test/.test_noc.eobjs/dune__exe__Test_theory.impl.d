@@ -1,0 +1,1 @@
+test/test_theory.ml: Alcotest Array Float Fun List Noc Power QCheck QCheck_alcotest Routing Theory Traffic

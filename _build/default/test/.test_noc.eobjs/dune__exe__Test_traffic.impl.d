@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Array Float Fun Hashtbl List Noc Traffic

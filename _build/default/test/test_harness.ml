@@ -1,0 +1,281 @@
+(* Tests for the experiment harness: figure generators, the Monte-Carlo
+   runner's bookkeeping, CSV rendering and summary aggregation. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_figures_registered () =
+  check_int "nine figures" 9 (List.length Harness.Figure.all);
+  check_bool "find fig8b" true
+    (match Harness.Figure.find "FIG8B" with
+    | Some f -> f.Harness.Figure.id = "fig8b"
+    | None -> false);
+  check_bool "unknown" true (Harness.Figure.find "fig10" = None)
+
+let test_generators_obey_specs () =
+  let rng = Traffic.Rng.create 9 in
+  (* fig7a draws x communications with small weights. *)
+  let comms = Harness.Figure.fig7a.generate rng 40. in
+  check_int "count" 40 (List.length comms);
+  List.iter
+    (fun (c : Traffic.Communication.t) ->
+      check_bool "small band" true (c.rate >= 100. && c.rate < 1500.))
+    comms;
+  (* fig8b draws 20 comms around the given average weight. *)
+  let comms = Harness.Figure.fig8b.generate rng 2000. in
+  check_int "count" 20 (List.length comms);
+  List.iter
+    (fun (c : Traffic.Communication.t) ->
+      check_bool "centered band" true (c.rate >= 1750. && c.rate < 2250.))
+    comms;
+  (* fig9c draws 12 comms of length x-1..x+1. *)
+  let comms = Harness.Figure.fig9c.generate rng 6. in
+  check_int "count" 12 (List.length comms);
+  List.iter
+    (fun c ->
+      let len = Traffic.Communication.length c in
+      check_bool "length near 6" true (len >= 5 && len <= 7))
+    comms
+
+let tiny_figure =
+  {
+    Harness.Figure.id = "tiny";
+    title = "tiny test figure";
+    xlabel = "n";
+    xs = [ 2.; 4. ];
+    generate =
+      (fun rng x ->
+        Traffic.Workload.uniform rng Harness.Figure.mesh ~n:(int_of_float x)
+          ~weight:Traffic.Workload.small);
+  }
+
+let test_runner_bookkeeping () =
+  let acc = Harness.Summary.create () in
+  let r = Harness.Runner.run ~trials:10 ~summary:acc tiny_figure in
+  check_int "two rows" 2 (List.length r.rows);
+  List.iter
+    (fun (row : Harness.Runner.row) ->
+      check_int "seven cells" 7 (List.length row.cells);
+      let best = List.assoc "BEST" row.cells in
+      List.iter
+        (fun (_, (s : Harness.Runner.stats)) ->
+          check_bool "failure ratio in [0,1]" true
+            (s.failure_ratio >= 0. && s.failure_ratio <= 1.);
+          check_bool "norm in [0,1]" true
+            (s.norm_inv_power >= 0. && s.norm_inv_power <= 1. +. 1e-9);
+          check_bool "best dominates" true
+            (s.norm_inv_power <= best.norm_inv_power +. 1e-9))
+        row.cells;
+      (* For BEST, normalized inverse power is exactly its success rate. *)
+      check_float "best norm = success" (1. -. best.failure_ratio)
+        best.norm_inv_power)
+    r.rows;
+  let s = Harness.Summary.finalize acc in
+  check_int "instances observed" 20 s.Harness.Summary.instances
+
+let test_runner_deterministic () =
+  let run () = Harness.Runner.run ~trials:5 ~seed:3 tiny_figure in
+  let a = run () and b = run () in
+  List.iter2
+    (fun (ra : Harness.Runner.row) (rb : Harness.Runner.row) ->
+      List.iter2
+        (fun (na, (sa : Harness.Runner.stats)) (nb, (sb : Harness.Runner.stats)) ->
+          check_bool "same name" true (na = nb);
+          check_float "same norm" sa.norm_inv_power sb.norm_inv_power;
+          check_float "same fail" sa.failure_ratio sb.failure_ratio)
+        ra.cells rb.cells)
+    a.rows b.rows
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_csv_shape () =
+  let r = Harness.Runner.run ~trials:3 tiny_figure in
+  let csv = Harness.Render.csv r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  check_int "header + 2 rows" 3 (List.length lines);
+  let header = List.hd lines in
+  check_bool "header starts with x" true (String.length header > 1 && header.[0] = 'x');
+  check_bool "has XYI column" true (contains_substring header "XYI_norm")
+
+let test_write_csv () =
+  let r = Harness.Runner.run ~trials:2 tiny_figure in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "manroute_test_csv" in
+  let path = Harness.Render.write_csv ~dir r in
+  check_bool "file exists" true (Sys.file_exists path);
+  Sys.remove path
+
+let test_summary_ratios () =
+  let acc = Harness.Summary.create () in
+  ignore (Harness.Runner.run ~trials:15 ~summary:acc tiny_figure);
+  let s = Harness.Summary.finalize acc in
+  let get name l = List.assoc name l in
+  check_bool "XY baseline is 1" true
+    (Float.abs (get "XY" s.Harness.Summary.inverse_power_vs_xy -. 1.) < 1e-9);
+  check_bool "BEST dominates XY" true
+    (get "BEST" s.Harness.Summary.inverse_power_vs_xy >= 1.);
+  check_bool "success ratios in range" true
+    (List.for_all (fun (_, v) -> v >= 0. && v <= 1.) s.Harness.Summary.success_ratio);
+  check_bool "runtimes measured" true (s.Harness.Summary.mean_runtime_ms <> [])
+
+let test_pp_result_smoke () =
+  let r = Harness.Runner.run ~trials:2 tiny_figure in
+  let s = Format.asprintf "%a" Harness.Render.pp_result r in
+  check_bool "mentions every heuristic" true
+    (List.for_all
+       (fun (h : Routing.Heuristic.t) -> contains_substring s h.name)
+       Routing.Heuristic.all);
+  check_bool "mentions BEST" true (contains_substring s "BEST");
+  check_bool "mentions the title" true (contains_substring s "tiny test figure")
+
+let test_summary_pp_smoke () =
+  let acc = Harness.Summary.create () in
+  ignore (Harness.Runner.run ~trials:3 ~summary:acc tiny_figure);
+  let s = Format.asprintf "%a" Harness.Summary.pp (Harness.Summary.finalize acc) in
+  check_bool "has success block" true (contains_substring s "success ratio");
+  check_bool "has runtime block" true (contains_substring s "mean runtime");
+  check_bool "instance count" true (contains_substring s "6 instances")
+
+let test_stderr_sane () =
+  let r = Harness.Runner.run ~trials:20 tiny_figure in
+  List.iter
+    (fun (row : Harness.Runner.row) ->
+      List.iter
+        (fun (_, (s : Harness.Runner.stats)) ->
+          check_bool "stderr non-negative" true (s.norm_stderr >= 0.);
+          (* A mean in [0,1] over 20 samples has stderr at most ~0.12. *)
+          check_bool "stderr bounded" true (s.norm_stderr <= 0.12))
+        row.cells)
+    r.rows
+
+(* ------------------------------------------------------------------ *)
+(* Heatmap *)
+
+let test_heatmap_shape_and_symbols () =
+  let mesh = Noc.Mesh.square 3 in
+  let loads = Noc.Load.create mesh in
+  let link r1 c1 r2 c2 =
+    Noc.Mesh.link
+      ~src:(Noc.Coord.make ~row:r1 ~col:c1)
+      ~dst:(Noc.Coord.make ~row:r2 ~col:c2)
+  in
+  Noc.Load.add_link loads (link 1 1 1 2) 3500.;  (* full: '9' *)
+  Noc.Load.add_link loads (link 2 1 2 2) 350.;   (* one tenth: '1' *)
+  Noc.Load.add_link loads (link 1 1 2 1) 4000.;  (* overloaded: '!' *)
+  let s = Harness.Render.heatmap loads in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  check_int "5 lines for 3x3" 5 (List.length lines);
+  check_bool "full link shown as 9" true
+    (String.length (List.nth lines 0) > 2 && (List.nth lines 0).[2] = '9');
+  check_bool "tenth link shown as 1" true ((List.nth lines 2).[2] = '1');
+  check_bool "overload shown as !" true ((List.nth lines 1).[0] = '!');
+  check_bool "idle shown as ." true ((List.nth lines 3).[0] = '.')
+
+let test_heatmap_uses_busier_direction () =
+  let mesh = Noc.Mesh.square 2 in
+  let loads = Noc.Load.create mesh in
+  let fwd =
+    Noc.Mesh.link
+      ~src:(Noc.Coord.make ~row:1 ~col:1)
+      ~dst:(Noc.Coord.make ~row:1 ~col:2)
+  and bwd =
+    Noc.Mesh.link
+      ~src:(Noc.Coord.make ~row:1 ~col:2)
+      ~dst:(Noc.Coord.make ~row:1 ~col:1)
+  in
+  Noc.Load.add_link loads fwd 100.;
+  Noc.Load.add_link loads bwd 3400.;
+  let s = Harness.Render.heatmap loads in
+  check_bool "max of both directions" true ((List.nth (String.split_on_char '\n' s) 0).[2] = '9')
+
+let test_heatmap_single_row () =
+  let mesh = Noc.Mesh.create ~rows:1 ~cols:4 in
+  let loads = Noc.Load.create mesh in
+  Noc.Load.add_link loads
+    (Noc.Mesh.link ~src:(Noc.Coord.make ~row:1 ~col:1)
+       ~dst:(Noc.Coord.make ~row:1 ~col:2))
+    1750.;
+  let s = String.trim (Harness.Render.heatmap loads) in
+  check_int "single line" 1 (List.length (String.split_on_char '\n' s));
+  check_bool "half load is 5" true (s.[2] = '5')
+
+(* ------------------------------------------------------------------ *)
+(* Problem files *)
+
+let test_problem_roundtrip () =
+  let rng = Traffic.Rng.create 12 in
+  let mesh = Noc.Mesh.create ~rows:4 ~cols:6 in
+  let comms = Traffic.Workload.uniform rng mesh ~n:9 ~weight:Traffic.Workload.small in
+  let p = { Harness.Problem.mesh; comms } in
+  match Harness.Problem.parse (Harness.Problem.to_string p) with
+  | Error m -> Alcotest.fail m
+  | Ok p' ->
+      check_int "rows" 4 (Noc.Mesh.rows p'.Harness.Problem.mesh);
+      check_int "cols" 6 (Noc.Mesh.cols p'.Harness.Problem.mesh);
+      check_int "count" 9 (List.length p'.comms);
+      List.iter2
+        (fun (a : Traffic.Communication.t) (b : Traffic.Communication.t) ->
+          check_bool "same endpoints" true
+            (Noc.Coord.equal a.src b.src && Noc.Coord.equal a.snk b.snk);
+          check_bool "same rate" true (Float.abs (a.rate -. b.rate) < 1e-6))
+        comms p'.comms
+
+let test_problem_comments_and_blanks () =
+  let text = "# a comment\n\nmesh 2 2\n\n  # another\ncomm 1 1 2 2 100\n" in
+  match Harness.Problem.parse text with
+  | Ok p -> check_int "one comm" 1 (List.length p.Harness.Problem.comms)
+  | Error m -> Alcotest.fail m
+
+let test_problem_errors () =
+  let expect_error text =
+    match Harness.Problem.parse text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "should reject: %s" text
+  in
+  expect_error "";
+  expect_error "comm 1 1 2 2 100";
+  expect_error "mesh 0 4";
+  expect_error "mesh 2 2\ncomm 1 1 5 5 100";
+  expect_error "mesh 2 2\ncomm 1 1 2 2 -5";
+  expect_error "mesh 2 2\ncomm 1 1 1 1 100";
+  expect_error "mesh 2 2\nnonsense line"
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "harness"
+    [
+      ( "figures",
+        [
+          quick "registered" test_figures_registered;
+          quick "generators obey specs" test_generators_obey_specs;
+        ] );
+      ( "runner",
+        [
+          quick "bookkeeping" test_runner_bookkeeping;
+          quick "deterministic" test_runner_deterministic;
+        ] );
+      ( "render",
+        [
+          quick "csv shape" test_csv_shape;
+          quick "write csv" test_write_csv;
+          quick "pp result smoke" test_pp_result_smoke;
+          quick "summary pp smoke" test_summary_pp_smoke;
+          quick "stderr sane" test_stderr_sane;
+        ] );
+      ("summary", [ quick "ratios" test_summary_ratios ]);
+      ( "heatmap",
+        [
+          quick "shape and symbols" test_heatmap_shape_and_symbols;
+          quick "busier direction" test_heatmap_uses_busier_direction;
+          quick "single row" test_heatmap_single_row;
+        ] );
+      ( "problem",
+        [
+          quick "roundtrip" test_problem_roundtrip;
+          quick "comments and blanks" test_problem_comments_and_blanks;
+          quick "errors" test_problem_errors;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for the power model: frequency selection, feasibility, the
+   Kim-Horowitz constants, and the penalized surrogate cost. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_bool = Alcotest.(check bool)
+
+let km = Power.Model.kim_horowitz
+let theory = Power.Model.theory ()
+
+let test_presets () =
+  check_float "pleak" 16.9 km.Power.Model.p_leak;
+  check_float "p0" 5.41 km.Power.Model.p0;
+  check_float "alpha" 2.95 km.Power.Model.alpha;
+  check_float "capacity" 3500. km.Power.Model.capacity;
+  check_float "theory pleak" 0. theory.Power.Model.p_leak;
+  check_bool "theory unbounded" true
+    (Power.Model.is_feasible theory 1e12)
+
+let test_make_validation () =
+  let expect msg f = Alcotest.check_raises msg (Invalid_argument msg) f in
+  expect "Model.make: capacity <= 0" (fun () ->
+      ignore (Power.Model.make ~p_leak:0. ~p0:1. ~alpha:3. ~capacity:0. ()));
+  expect "Model.make: levels not strictly increasing" (fun () ->
+      ignore
+        (Power.Model.make
+           ~mode:(Power.Model.Discrete [| 2.; 1. |])
+           ~p_leak:0. ~p0:1. ~alpha:3. ~capacity:2. ()));
+  expect "Model.make: top level must equal capacity" (fun () ->
+      ignore
+        (Power.Model.make
+           ~mode:(Power.Model.Discrete [| 1.; 2. |])
+           ~p_leak:0. ~p0:1. ~alpha:3. ~capacity:3. ()))
+
+let test_required_frequency_discrete () =
+  let freq load =
+    match Power.Model.required_frequency km load with
+    | Some f -> f
+    | None -> Float.nan
+  in
+  check_float "idle" 0. (freq 0.);
+  check_float "tiny load snaps to 1 Gb/s" 1000. (freq 1.);
+  check_float "exact level" 1000. (freq 1000.);
+  check_float "just above level" 2500. (freq 1000.1);
+  check_float "mid band" 2500. (freq 2000.);
+  check_float "top band" 3500. (freq 3000.);
+  check_float "full" 3500. (freq 3500.);
+  check_bool "overload" true
+    (Power.Model.required_frequency km 3500.5 = None)
+
+let test_required_frequency_continuous () =
+  let m = Power.Model.kim_horowitz_continuous in
+  (match Power.Model.required_frequency m 1234.5 with
+  | Some f -> check_float "continuous tracks load" 1234.5 f
+  | None -> Alcotest.fail "feasible");
+  check_bool "overload" true (Power.Model.required_frequency m 3600. = None)
+
+let test_link_power_values () =
+  (* P = 16.9 + 5.41 * (f/1000)^2.95 mW at the quantized frequency. *)
+  let expect_at f = 16.9 +. (5.41 *. Float.pow (f /. 1000.) 2.95) in
+  (match Power.Model.link_power km 500. with
+  | Some p -> check_float "500 Mb/s -> 1 Gb/s" (expect_at 1000.) p
+  | None -> Alcotest.fail "feasible");
+  (match Power.Model.link_power km 3400. with
+  | Some p -> check_float "3400 Mb/s -> 3.5 Gb/s" (expect_at 3500.) p
+  | None -> Alcotest.fail "feasible");
+  (match Power.Model.link_power km 0. with
+  | Some p -> check_float "idle link free" 0. p
+  | None -> Alcotest.fail "feasible");
+  check_bool "infeasible load" true (Power.Model.link_power km 4000. = None);
+  Alcotest.check_raises "exn variant"
+    (Invalid_argument "Model.link_power_exn: load 4000 > capacity 3500")
+    (fun () -> ignore (Power.Model.link_power_exn km 4000.))
+
+let test_theory_model_cubic () =
+  check_float "cube" 27. (Power.Model.link_power_exn theory 3.);
+  check_float "dynamic only" 8. (Power.Model.dynamic_power theory 2.)
+
+let test_penalized_matches_power_when_feasible () =
+  List.iter
+    (fun load ->
+      check_float "agrees"
+        (Power.Model.link_power_exn km load)
+        (Power.Model.penalized_cost km load))
+    [ 0.; 1.; 999.; 2500.; 3500. ]
+
+let test_gbps_scale_semantics () =
+  (* With scale 1000, a 2000 Mb/s frequency costs P0 * 2^alpha. *)
+  let m =
+    Power.Model.make ~gbps_scale:1000. ~p_leak:0. ~p0:3. ~alpha:2.
+      ~capacity:4000. ()
+  in
+  check_float "scaled" (3. *. 4.) (Power.Model.dynamic_power m 2000.);
+  (* With scale 1 the same number is 2000 units. *)
+  let m1 = Power.Model.make ~p_leak:0. ~p0:3. ~alpha:2. ~capacity:4000. () in
+  check_float "unscaled" (3. *. 2000. *. 2000.)
+    (Power.Model.dynamic_power m1 2000.)
+
+let prop_penalized_monotone =
+  QCheck.Test.make ~name:"penalized cost is non-decreasing in the load"
+    ~count:500
+    QCheck.(pair (QCheck.make QCheck.Gen.(float_range 0. 8000.))
+              (QCheck.make QCheck.Gen.(float_range 0. 1000.)))
+    (fun (load, delta) ->
+      Power.Model.penalized_cost km (load +. delta)
+      >= Power.Model.penalized_cost km load -. 1e-9)
+
+let prop_infeasible_costs_more_than_feasible =
+  QCheck.Test.make
+    ~name:"any overloaded link costs more than any feasible link" ~count:200
+    QCheck.(pair (QCheck.make QCheck.Gen.(float_range 3500.1 9000.))
+              (QCheck.make QCheck.Gen.(float_range 0. 3500.)))
+    (fun (over, under) ->
+      Power.Model.penalized_cost km over > Power.Model.penalized_cost km under)
+
+let prop_discrete_never_cheaper_than_continuous =
+  QCheck.Test.make
+    ~name:"quantized frequency never beats continuous" ~count:300
+    (QCheck.make QCheck.Gen.(float_range 0.1 3500.))
+    (fun load ->
+      let cont = Power.Model.kim_horowitz_continuous in
+      Power.Model.link_power_exn km load
+      >= Power.Model.link_power_exn cont load -. 1e-9)
+
+let () =
+  Alcotest.run "power"
+    [
+      ( "model",
+        [
+          Alcotest.test_case "presets" `Quick test_presets;
+          Alcotest.test_case "make validation" `Quick test_make_validation;
+          Alcotest.test_case "discrete frequency" `Quick
+            test_required_frequency_discrete;
+          Alcotest.test_case "continuous frequency" `Quick
+            test_required_frequency_continuous;
+          Alcotest.test_case "link power values" `Quick test_link_power_values;
+          Alcotest.test_case "theory cubic" `Quick test_theory_model_cubic;
+          Alcotest.test_case "penalized = power when feasible" `Quick
+            test_penalized_matches_power_when_feasible;
+          Alcotest.test_case "gbps scale" `Quick test_gbps_scale_semantics;
+          QCheck_alcotest.to_alcotest prop_penalized_monotone;
+          QCheck_alcotest.to_alcotest prop_infeasible_costs_more_than_feasible;
+          QCheck_alcotest.to_alcotest prop_discrete_never_cheaper_than_continuous;
+        ] );
+    ]

@@ -1,0 +1,421 @@
+(* Tests for the traffic substrate: PRNG determinism and statistics,
+   communications, workload generators, task graphs and mappings. *)
+
+let coord row col = Noc.Coord.make ~row ~col
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_deterministic () =
+  let a = Traffic.Rng.create 42 and b = Traffic.Rng.create 42 in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Traffic.Rng.bits64 a = Traffic.Rng.bits64 b)
+  done;
+  let c = Traffic.Rng.create 43 in
+  check_bool "different seed differs" true
+    (Traffic.Rng.bits64 a <> Traffic.Rng.bits64 c)
+
+let test_rng_split_independent () =
+  let parent = Traffic.Rng.create 1 in
+  let child = Traffic.Rng.split parent in
+  check_bool "split diverges" true
+    (Traffic.Rng.bits64 parent <> Traffic.Rng.bits64 child)
+
+let test_rng_ranges () =
+  let rng = Traffic.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let x = Traffic.Rng.int rng 10 in
+    check_bool "int in range" true (x >= 0 && x < 10);
+    let y = Traffic.Rng.range rng ~lo:3 ~hi:5 in
+    check_bool "range inclusive" true (y >= 3 && y <= 5);
+    let f = Traffic.Rng.float rng in
+    check_bool "unit float" true (f >= 0. && f < 1.);
+    let u = Traffic.Rng.uniform rng ~lo:100. ~hi:200. in
+    check_bool "uniform band" true (u >= 100. && u < 200.)
+  done;
+  Alcotest.check_raises "empty int" (Invalid_argument "Rng.int: bound <= 0")
+    (fun () -> ignore (Traffic.Rng.int rng 0))
+
+let test_rng_uniformity () =
+  (* Coarse frequency check: 6000 draws over 6 buckets, each within 20%. *)
+  let rng = Traffic.Rng.create 99 in
+  let buckets = Array.make 6 0 in
+  for _ = 1 to 6000 do
+    let i = Traffic.Rng.int rng 6 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  Array.iter
+    (fun n -> check_bool "bucket near 1000" true (n > 800 && n < 1200))
+    buckets
+
+let test_rng_mean_and_gaussian () =
+  let rng = Traffic.Rng.create 5 in
+  let n = 20_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Traffic.Rng.float rng
+  done;
+  check_bool "mean near 0.5" true (Float.abs ((!sum /. float_of_int n) -. 0.5) < 0.01);
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Traffic.Rng.gaussian rng ~mean:10. ~stddev:2.
+  done;
+  check_bool "gaussian mean near 10" true
+    (Float.abs ((!sum /. float_of_int n) -. 10.) < 0.1)
+
+let test_rng_shuffle_permutes () =
+  let rng = Traffic.Rng.create 3 in
+  let a = Array.init 20 Fun.id in
+  Traffic.Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  check_bool "is permutation" true (sorted = Array.init 20 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Communication *)
+
+let test_communication_make () =
+  let c =
+    Traffic.Communication.make ~id:3 ~src:(coord 1 2) ~snk:(coord 4 1)
+      ~rate:42.
+  in
+  check_int "length" 4 (Traffic.Communication.length c);
+  check_int "quadrant" 2
+    (Noc.Quadrant.to_int (Traffic.Communication.quadrant c));
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Communication.make: src = snk = (1,1)") (fun () ->
+      ignore
+        (Traffic.Communication.make ~id:0 ~src:(coord 1 1) ~snk:(coord 1 1)
+           ~rate:1.));
+  Alcotest.check_raises "zero rate"
+    (Invalid_argument "Communication.make: rate <= 0") (fun () ->
+      ignore
+        (Traffic.Communication.make ~id:0 ~src:(coord 1 1) ~snk:(coord 1 2)
+           ~rate:0.))
+
+let test_communication_sort () =
+  let mk id src snk rate = Traffic.Communication.make ~id ~src ~snk ~rate in
+  let a = mk 0 (coord 1 1) (coord 1 2) 10.
+  and b = mk 1 (coord 1 1) (coord 4 4) 5.
+  and c = mk 2 (coord 1 1) (coord 2 2) 7. in
+  let ids order = List.map (fun (x : Traffic.Communication.t) -> x.id)
+      (Traffic.Communication.sort order [ a; b; c ]) in
+  check_bool "by rate" true (ids Traffic.Communication.By_rate_desc = [ 0; 2; 1 ]);
+  check_bool "by length" true
+    (ids Traffic.Communication.By_length_desc = [ 1; 2; 0 ]);
+  check_bool "by density" true
+    (ids Traffic.Communication.By_rate_per_length_desc = [ 0; 2; 1 ]);
+  check_float "total" 22. (Traffic.Communication.total_rate [ a; b; c ])
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let mesh = Noc.Mesh.square 8
+
+let test_uniform_workload () =
+  let rng = Traffic.Rng.create 11 in
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n:50 ~weight:Traffic.Workload.small
+  in
+  check_int "count" 50 (List.length comms);
+  List.iteri
+    (fun i (c : Traffic.Communication.t) ->
+      check_int "ids in order" i c.id;
+      check_bool "distinct endpoints" false (Noc.Coord.equal c.src c.snk);
+      check_bool "weight band" true (c.rate >= 100. && c.rate < 1500.);
+      check_bool "in mesh" true
+        (Noc.Mesh.in_mesh mesh c.src && Noc.Mesh.in_mesh mesh c.snk))
+    comms
+
+let test_pair_at_distance_exact () =
+  let rng = Traffic.Rng.create 2 in
+  for len = 1 to 14 do
+    for _ = 1 to 50 do
+      match Traffic.Workload.pair_at_distance rng mesh len with
+      | Some (a, b) -> check_int "distance" len (Noc.Coord.manhattan a b)
+      | None -> Alcotest.fail "feasible length"
+    done
+  done;
+  check_bool "too long" true
+    (Traffic.Workload.pair_at_distance rng mesh 15 = None);
+  check_bool "zero" true (Traffic.Workload.pair_at_distance rng mesh 0 = None)
+
+let test_pair_at_distance_covers_offsets () =
+  (* With distance 1 on a 2x2 mesh, all 8 directed neighbor pairs appear. *)
+  let m = Noc.Mesh.square 2 in
+  let rng = Traffic.Rng.create 17 in
+  let seen = Hashtbl.create 8 in
+  for _ = 1 to 500 do
+    match Traffic.Workload.pair_at_distance rng m 1 with
+    | Some (a, b) -> Hashtbl.replace seen (a, b) ()
+    | None -> Alcotest.fail "distance 1 exists"
+  done;
+  check_int "all directed pairs" 8 (Hashtbl.length seen)
+
+let test_with_length_targets () =
+  let rng = Traffic.Rng.create 4 in
+  List.iter
+    (fun target ->
+      let comms =
+        Traffic.Workload.with_length rng mesh ~n:40
+          ~weight:Traffic.Workload.big ~target
+      in
+      List.iter
+        (fun c ->
+          let len = Traffic.Communication.length c in
+          check_bool "length near target" true (abs (len - target) <= 1))
+        comms)
+    [ 2; 7; 14 ]
+
+let test_around_weight_band () =
+  let w = Traffic.Workload.around 100. in
+  check_bool "clamped above zero" true (w.Traffic.Workload.w_lo >= 1.);
+  let w = Traffic.Workload.around 2000. in
+  check_float "lo" 1750. w.Traffic.Workload.w_lo;
+  check_float "hi" 2250. w.Traffic.Workload.w_hi
+
+let test_single_pair () =
+  let rng = Traffic.Rng.create 5 in
+  let comms =
+    Traffic.Workload.single_pair rng ~src:(coord 1 1) ~snk:(coord 8 8) ~n:7
+      ~weight:(Traffic.Workload.weight ~lo:10. ~hi:10.)
+  in
+  check_int "count" 7 (List.length comms);
+  List.iter
+    (fun (c : Traffic.Communication.t) ->
+      check_bool "src" true (Noc.Coord.equal c.src (coord 1 1));
+      check_float "fixed weight" 10. c.rate)
+    comms
+
+(* ------------------------------------------------------------------ *)
+(* Task graphs *)
+
+let test_chain () =
+  let g = Traffic.Task_graph.chain ~n:4 ~rate:100. () in
+  check_int "tasks" 4 (Traffic.Task_graph.num_tasks g);
+  check_int "edges" 3 (List.length (Traffic.Task_graph.edges g))
+
+let test_fork_join () =
+  let g = Traffic.Task_graph.fork_join ~width:3 ~rate:50. () in
+  check_int "tasks" 5 (Traffic.Task_graph.num_tasks g);
+  check_int "edges" 6 (List.length (Traffic.Task_graph.edges g))
+
+let test_make_validates () =
+  Alcotest.check_raises "dangling"
+    (Invalid_argument "Task_graph.make: dangling edge") (fun () ->
+      ignore
+        (Traffic.Task_graph.make ~name:"bad"
+           ~tasks:[| { Traffic.Task_graph.tid = 0; work = 1. } |]
+           ~edges:[ { Traffic.Task_graph.from_task = 0; to_task = 1; rate = 1. } ]))
+
+let test_random_layered_shape () =
+  let rng = Traffic.Rng.create 6 in
+  let g =
+    Traffic.Task_graph.random_layered rng ~layers:4 ~width:3 ~rate_lo:10.
+      ~rate_hi:20. ()
+  in
+  check_int "tasks" 12 (Traffic.Task_graph.num_tasks g);
+  List.iter
+    (fun (e : Traffic.Task_graph.edge) ->
+      check_bool "layer to next layer" true (e.to_task / 3 = (e.from_task / 3) + 1);
+      check_bool "rate band" true (e.rate >= 10. && e.rate < 20.))
+    (Traffic.Task_graph.edges g)
+
+let test_communications_merge_parallel_edges () =
+  (* Two tasks mapped to the same pair of cores: rates must add up. *)
+  let g =
+    Traffic.Task_graph.make ~name:"m"
+      ~tasks:(Array.init 4 (fun tid -> { Traffic.Task_graph.tid; work = 1. }))
+      ~edges:
+        [
+          { Traffic.Task_graph.from_task = 0; to_task = 1; rate = 10. };
+          { Traffic.Task_graph.from_task = 2; to_task = 3; rate = 5. };
+        ]
+  in
+  (* Map tasks 0,2 to core (1,1) and 1,3 to core (2,2). *)
+  let mapping tid = if tid mod 2 = 0 then coord 1 1 else coord 2 2 in
+  (match Traffic.Task_graph.communications g mapping with
+  | [ c ] -> check_float "merged rate" 15. c.Traffic.Communication.rate
+  | l -> Alcotest.failf "expected one merged comm, got %d" (List.length l));
+  (* Same-core edges vanish. *)
+  let all_same _ = coord 1 1 in
+  check_int "collapsed" 0
+    (List.length (Traffic.Task_graph.communications g all_same))
+
+let test_map_random_injective () =
+  let rng = Traffic.Rng.create 8 in
+  let g = Traffic.Task_graph.chain ~n:16 ~rate:1. () in
+  let m = Noc.Mesh.square 4 in
+  let mapping = Traffic.Task_graph.map_random rng m g in
+  let seen = Hashtbl.create 16 in
+  for tid = 0 to 15 do
+    let c = mapping tid in
+    check_bool "in mesh" true (Noc.Mesh.in_mesh m c);
+    check_bool "injective" false (Hashtbl.mem seen c);
+    Hashtbl.add seen c ()
+  done;
+  Alcotest.check_raises "too many tasks"
+    (Invalid_argument "Task_graph.map_random: more tasks than cores")
+    (fun () ->
+      let (_ : Traffic.Task_graph.mapping) =
+        Traffic.Task_graph.map_random rng (Noc.Mesh.square 2)
+          (Traffic.Task_graph.chain ~n:5 ~rate:1. ())
+      in
+      ())
+
+let test_combine_unique_ids () =
+  let g1 = Traffic.Task_graph.chain ~n:3 ~rate:10. ()
+  and g2 = Traffic.Task_graph.fork_join ~width:2 ~rate:5. () in
+  let m = Noc.Mesh.square 4 in
+  let comms =
+    Traffic.Task_graph.combine
+      [
+        (g1, Traffic.Task_graph.map_linear m g1);
+        (g2, Traffic.Task_graph.map_linear m ~origin:8 g2);
+      ]
+  in
+  let ids = List.map (fun (c : Traffic.Communication.t) -> c.id) comms in
+  check_int "sequential ids" (List.length comms - 1)
+    (List.fold_left max (-1) ids);
+  check_bool "no duplicate ids" true
+    (List.length (List.sort_uniq compare ids) = List.length ids)
+
+(* ------------------------------------------------------------------ *)
+(* Patterns *)
+
+let test_pattern_applicability () =
+  let m8 = Noc.Mesh.square 8 and m3x5 = Noc.Mesh.create ~rows:3 ~cols:5 in
+  check_bool "transpose on square" true
+    (Traffic.Patterns.is_applicable Traffic.Patterns.Transpose m8);
+  check_bool "transpose off rect" false
+    (Traffic.Patterns.is_applicable Traffic.Patterns.Transpose m3x5);
+  check_bool "bit-reverse needs power of two" false
+    (Traffic.Patterns.is_applicable Traffic.Patterns.Bit_reverse m3x5);
+  check_bool "tornado anywhere wide" true
+    (Traffic.Patterns.is_applicable Traffic.Patterns.Tornado m3x5)
+
+let test_pattern_permutations_are_permutations () =
+  (* Every applicable pattern on 8x8 maps distinct sources to distinct
+     sinks, with sources covering all non-fixed cores. *)
+  let m = Noc.Mesh.square 8 in
+  List.iter
+    (fun p ->
+      let comms = Traffic.Patterns.communications p ~rate:100. m in
+      let snks =
+        List.map (fun (c : Traffic.Communication.t) -> c.snk) comms
+      in
+      let distinct =
+        List.length (List.sort_uniq Noc.Coord.compare snks)
+      in
+      Alcotest.(check int)
+        (Traffic.Patterns.name p ^ " sinks distinct")
+        (List.length comms) distinct;
+      List.iter
+        (fun (c : Traffic.Communication.t) ->
+          check_bool "in mesh" true (Noc.Mesh.in_mesh m c.snk))
+        comms)
+    Traffic.Patterns.all
+
+let test_pattern_images () =
+  let m = Noc.Mesh.square 4 in
+  let find_comm comms src =
+    List.find
+      (fun (c : Traffic.Communication.t) -> Noc.Coord.equal c.src src)
+      comms
+  in
+  let transpose = Traffic.Patterns.communications Traffic.Patterns.Transpose ~rate:1. m in
+  check_bool "transpose (2,3)->(3,2)" true
+    (Noc.Coord.equal (find_comm transpose (coord 2 3)).snk (coord 3 2));
+  check_int "transpose skips diagonal" 12 (List.length transpose);
+  let tornado = Traffic.Patterns.communications Traffic.Patterns.Tornado ~rate:1. m in
+  check_bool "tornado (1,1)->(1,3)" true
+    (Noc.Coord.equal (find_comm tornado (coord 1 1)).snk (coord 1 3));
+  let neighbor = Traffic.Patterns.communications Traffic.Patterns.Neighbor ~rate:1. m in
+  check_bool "neighbor wraps" true
+    (Noc.Coord.equal (find_comm neighbor (coord 2 4)).snk (coord 2 1));
+  (* Bit complement on 4x4: index 0 (1,1) -> index 15 (4,4). *)
+  let bc = Traffic.Patterns.communications Traffic.Patterns.Bit_complement ~rate:1. m in
+  check_bool "complement corners" true
+    (Noc.Coord.equal (find_comm bc (coord 1 1)).snk (coord 4 4));
+  check_int "complement has no fixed point" 16 (List.length bc)
+
+let test_pattern_find () =
+  check_bool "find tornado" true
+    (Traffic.Patterns.find "Tornado" = Some Traffic.Patterns.Tornado);
+  check_bool "unknown" true (Traffic.Patterns.find "zigzag" = None)
+
+let test_hotspot () =
+  let m = Noc.Mesh.square 8 in
+  let rng = Traffic.Rng.create 21 in
+  let hs = coord 4 4 in
+  let comms =
+    Traffic.Patterns.hotspot rng m ~n:400 ~hotspot:hs ~bias:0.5
+      ~weight:(Traffic.Workload.weight ~lo:100. ~hi:100.)
+  in
+  check_int "count" 400 (List.length comms);
+  let hits =
+    List.length
+      (List.filter
+         (fun (c : Traffic.Communication.t) -> Noc.Coord.equal c.snk hs)
+         comms)
+  in
+  check_bool "roughly half hit the hotspot" true (hits > 140 && hits < 280);
+  Alcotest.check_raises "bias out of range"
+    (Invalid_argument "Patterns.hotspot: bias") (fun () ->
+      ignore
+        (Traffic.Patterns.hotspot rng m ~n:1 ~hotspot:hs ~bias:1.5
+           ~weight:Traffic.Workload.small))
+
+let () =
+  Alcotest.run "traffic"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "ranges" `Quick test_rng_ranges;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "means" `Quick test_rng_mean_and_gaussian;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+        ] );
+      ( "communication",
+        [
+          Alcotest.test_case "make" `Quick test_communication_make;
+          Alcotest.test_case "sort" `Quick test_communication_sort;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform_workload;
+          Alcotest.test_case "pair at distance" `Quick
+            test_pair_at_distance_exact;
+          Alcotest.test_case "distance-1 coverage" `Quick
+            test_pair_at_distance_covers_offsets;
+          Alcotest.test_case "with_length" `Quick test_with_length_targets;
+          Alcotest.test_case "around band" `Quick test_around_weight_band;
+          Alcotest.test_case "single pair" `Quick test_single_pair;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "applicability" `Quick test_pattern_applicability;
+          Alcotest.test_case "permutations" `Quick
+            test_pattern_permutations_are_permutations;
+          Alcotest.test_case "images" `Quick test_pattern_images;
+          Alcotest.test_case "find" `Quick test_pattern_find;
+          Alcotest.test_case "hotspot" `Quick test_hotspot;
+        ] );
+      ( "task graph",
+        [
+          Alcotest.test_case "chain" `Quick test_chain;
+          Alcotest.test_case "fork-join" `Quick test_fork_join;
+          Alcotest.test_case "validation" `Quick test_make_validates;
+          Alcotest.test_case "random layered" `Quick test_random_layered_shape;
+          Alcotest.test_case "merge parallel edges" `Quick
+            test_communications_merge_parallel_edges;
+          Alcotest.test_case "random mapping injective" `Quick
+            test_map_random_injective;
+          Alcotest.test_case "combine ids" `Quick test_combine_unique_ids;
+        ] );
+    ]
