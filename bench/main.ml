@@ -7,7 +7,9 @@
    routing pipeline on that figure's workload) and one per heuristic.
 
    Environment: MANROUTE_TRIALS overrides the Monte-Carlo trials per point
-   (default 150); MANROUTE_SKIP_BECHAMEL=1 skips part 2. *)
+   (default 150); MANROUTE_JOBS sets the worker-domain count for the
+   Monte-Carlo campaigns (default: the machine's core count) — results are
+   bit-identical for any value; MANROUTE_SKIP_BECHAMEL=1 skips part 2. *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -704,8 +706,9 @@ let bechamel_part () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  Format.printf "manroute reproduction harness (trials/point: %d)@."
-    (Harness.Runner.default_trials ());
+  Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
+    (Harness.Runner.default_trials ())
+    (Harness.Pool.default_jobs ());
   fig2 ();
   lemma1 ();
   thm1 ();

@@ -1,13 +1,20 @@
 (* figures: regenerate every simulation figure of the paper to CSV plus an
    ASCII rendering on stdout. Output directory: first argument, default
-   ./results. Trials per point: MANROUTE_TRIALS (default 150). *)
+   ./results; worker domains: second argument, default MANROUTE_JOBS or
+   the core count. Trials per point: MANROUTE_TRIALS (default 150). *)
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "results" in
+  let jobs =
+    if Array.length Sys.argv > 2 then int_of_string_opt Sys.argv.(2) else None
+  in
+  Format.printf "trials/point: %d, jobs: %d@."
+    (Harness.Runner.default_trials ())
+    (match jobs with Some j -> j | None -> Harness.Pool.default_jobs ());
   let acc = Harness.Summary.create () in
   List.iter
     (fun figure ->
-      let r = Harness.Runner.run ~summary:acc figure in
+      let r = Harness.Runner.run ?jobs ~summary:acc figure in
       Format.printf "%a@." Harness.Render.pp_result r;
       let path = Harness.Render.write_csv ~dir r in
       Format.printf "-> %s@.@." path)

@@ -226,7 +226,16 @@ let figure_cmd =
       & opt (some string) None
       & info [ "csv" ] ~docv:"DIR" ~doc:"Also write CSV files to DIR.")
   in
-  let run id trials csv seed =
+  let jobs_t =
+    Arg.(
+      value & opt int 0
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains for the Monte-Carlo campaign (default: \
+             MANROUTE_JOBS or the core count). Results are bit-identical \
+             for any value.")
+  in
+  let run id trials csv seed jobs =
     let figures =
       if String.lowercase_ascii id = "all" then Harness.Figure.all
       else
@@ -237,10 +246,11 @@ let figure_cmd =
             exit 1
     in
     let trials = if trials > 0 then Some trials else None in
+    let jobs = if jobs > 0 then Some jobs else None in
     let acc = Harness.Summary.create () in
     List.iter
       (fun figure ->
-        let r = Harness.Runner.run ?trials ~seed ~summary:acc figure in
+        let r = Harness.Runner.run ?trials ?jobs ~seed ~summary:acc figure in
         Format.printf "%a@." Harness.Render.pp_result r;
         match csv with
         | Some dir ->
@@ -250,7 +260,7 @@ let figure_cmd =
       figures;
     Format.printf "%a@." Harness.Summary.pp (Harness.Summary.finalize acc)
   in
-  let term = Term.(const run $ id_t $ trials_t $ csv_t $ seed_t) in
+  let term = Term.(const run $ id_t $ trials_t $ csv_t $ seed_t $ jobs_t) in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce a simulation figure of the paper")
     term

@@ -1,0 +1,49 @@
+let default_jobs () =
+  match Sys.getenv_opt "MANROUTE_JOBS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let map ?jobs n f =
+  if n <= 0 then [||]
+  else
+    let jobs =
+      let j = match jobs with Some j -> j | None -> default_jobs () in
+      max 1 (min j n)
+    in
+    if jobs = 1 then Array.init n f
+    else begin
+      let results = Array.make n None in
+      (* Chunks several times smaller than a fair share, so a slow chunk
+         (heuristics are far from constant-cost per trial) cannot leave
+         the other workers idle at the tail. *)
+      let chunk = max 1 (n / (jobs * 8)) in
+      let next = Atomic.make 0 in
+      let failure = Atomic.make None in
+      let worker () =
+        let running = ref true in
+        while !running do
+          let start = Atomic.fetch_and_add next chunk in
+          if start >= n || Atomic.get failure <> None then running := false
+          else
+            let stop = min n (start + chunk) in
+            try
+              for i = start to stop - 1 do
+                results.(i) <- Some (f i)
+              done
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore (Atomic.compare_and_set failure None (Some (e, bt)));
+              running := false
+        done
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join domains;
+      (match Atomic.get failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end

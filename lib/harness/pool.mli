@@ -1,0 +1,22 @@
+(** Fixed-size pool of OCaml 5 domains for embarrassingly parallel
+    Monte-Carlo work.
+
+    Workers pull fixed-size chunks of indices off a shared atomic queue, so
+    load balances across heterogeneous trial costs without any external
+    dependency. Results come back index-ordered: any fold over them is
+    independent of the worker count, which is what lets the harness promise
+    bit-identical statistics for [jobs:1] and [jobs:n]. *)
+
+val default_jobs : unit -> int
+(** The [MANROUTE_JOBS] environment variable when it parses as a positive
+    integer, else [Domain.recommended_domain_count ()]. *)
+
+val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+(** [map n f] is [[| f 0; ...; f (n-1) |]], evaluated by up to [jobs]
+    domains (default {!default_jobs}, clamped to [n]). [f] must not mutate
+    shared state; each index is evaluated exactly once, on exactly one
+    domain. With [jobs:1] (or [n <= 1]) no domain is spawned and the call
+    degenerates to [Array.init].
+
+    If some [f i] raises, the first exception is re-raised in the caller
+    after every worker has stopped; remaining chunks are abandoned. *)

@@ -14,21 +14,95 @@ type result = {
   rows : row list;
 }
 
-type cell_acc = {
-  mutable fails : int;
-  mutable norm_sum : float;
-  mutable norm_sumsq : float;
-  mutable power_sum : float;
-  mutable power_n : int;
-}
-
 let default_trials () =
   match Sys.getenv_opt "MANROUTE_TRIALS" with
   | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 150)
   | None -> 150
 
+(* CLOCK_MONOTONIC, in seconds. [Sys.time] is process CPU time: summed
+   over all domains it over-counts wall time by the worker count. *)
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let trial_rng ~figure_id ~x ~seed ~trial =
+  Traffic.Rng.of_key figure_id
+    [ Int64.of_int seed; Int64.bits_of_float x; Int64.of_int trial ]
+
+(* What one trial contributes to one cell. Immutable: trials are evaluated
+   on worker domains and folded afterwards in trial order, so the floating
+   sums associate identically for every job count. *)
+type contribution = Fail | Feasible of { norm : float; power : float }
+
+type trial = {
+  contribs : (string * contribution) list;
+  obs : Summary.obs;
+}
+
+let run_trial ~model ~heuristics ~figure ~x ~seed t =
+  let rng = trial_rng ~figure_id:figure.Figure.id ~x ~seed ~trial:t in
+  let comms = figure.Figure.generate rng x in
+  let times = ref [] in
+  let outcomes =
+    List.map
+      (fun (h : Routing.Heuristic.t) ->
+        let t0 = now_s () in
+        let solution = h.run model Figure.mesh comms in
+        times := (h.name, now_s () -. t0) :: !times;
+        {
+          Routing.Best.heuristic = h;
+          solution;
+          report = Routing.Evaluate.solution model solution;
+        })
+      heuristics
+  in
+  let best = Routing.Best.best_of outcomes in
+  let best_power =
+    match best with
+    | Some o -> Some o.report.Routing.Evaluate.total_power
+    | None -> None
+  in
+  let contribution (report : Routing.Evaluate.report option) =
+    match (report, best_power) with
+    | Some r, Some pb when r.feasible ->
+        Feasible { norm = pb /. r.total_power; power = r.total_power }
+    | _ -> Fail
+  in
+  let contribs =
+    List.map
+      (fun (o : Routing.Best.outcome) ->
+        (o.heuristic.Routing.Heuristic.name, contribution (Some o.report)))
+      outcomes
+    @ [
+        ( "BEST",
+          contribution
+            (Option.map (fun (o : Routing.Best.outcome) -> o.report) best) );
+      ]
+  in
+  { contribs; obs = Summary.observation ~outcomes ~best ~times:!times }
+
+type cell_acc = {
+  fails : int;
+  norm_sum : float;
+  norm_sumsq : float;
+  power_sum : float;
+  power_n : int;
+}
+
+let cell_zero =
+  { fails = 0; norm_sum = 0.; norm_sumsq = 0.; power_sum = 0.; power_n = 0 }
+
+let cell_add c = function
+  | Fail -> { c with fails = c.fails + 1 }
+  | Feasible { norm = v; power } ->
+      {
+        c with
+        norm_sum = c.norm_sum +. v;
+        norm_sumsq = c.norm_sumsq +. (v *. v);
+        power_sum = c.power_sum +. power;
+        power_n = c.power_n + 1;
+      }
+
 let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
-    ?(heuristics = Routing.Heuristic.all) ?summary figure =
+    ?(heuristics = Routing.Heuristic.all) ?jobs ?summary figure =
   let trials = match trials with Some t -> t | None -> default_trials () in
   let names =
     List.map (fun (h : Routing.Heuristic.t) -> h.name) heuristics @ [ "BEST" ]
@@ -36,63 +110,23 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
   let rows =
     List.map
       (fun x ->
-        let cells =
-          List.map
-            (fun name ->
-              ( name,
-                {
-                  fails = 0;
-                  norm_sum = 0.;
-                  norm_sumsq = 0.;
-                  power_sum = 0.;
-                  power_n = 0;
-                } ))
-            names
+        let results =
+          Pool.map ?jobs trials (run_trial ~model ~heuristics ~figure ~x ~seed)
         in
-        let rng = Traffic.Rng.create (Hashtbl.hash (figure.Figure.id, x, seed)) in
-        for _ = 1 to trials do
-          let comms = figure.Figure.generate rng x in
-          let times = ref [] in
-          let outcomes =
-            List.map
-              (fun (h : Routing.Heuristic.t) ->
-                let t0 = Sys.time () in
-                let solution = h.run model Figure.mesh comms in
-                times := (h.name, Sys.time () -. t0) :: !times;
-                {
-                  Routing.Best.heuristic = h;
-                  solution;
-                  report = Routing.Evaluate.solution model solution;
-                })
-              heuristics
-          in
-          let best = Routing.Best.best_of outcomes in
-          let best_power =
-            match best with
-            | Some o -> Some o.report.Routing.Evaluate.total_power
-            | None -> None
-          in
-          let record name (report : Routing.Evaluate.report option) =
-            let cell = List.assoc name cells in
-            match (report, best_power) with
-            | Some r, Some pb when r.feasible ->
-                let v = pb /. r.total_power in
-                cell.norm_sum <- cell.norm_sum +. v;
-                cell.norm_sumsq <- cell.norm_sumsq +. (v *. v);
-                cell.power_sum <- cell.power_sum +. r.total_power;
-                cell.power_n <- cell.power_n + 1
-            | _ -> cell.fails <- cell.fails + 1
-          in
-          List.iter
-            (fun (o : Routing.Best.outcome) ->
-              record o.heuristic.Routing.Heuristic.name (Some o.report))
-            outcomes;
-          record "BEST"
-            (Option.map (fun (o : Routing.Best.outcome) -> o.report) best);
-          match summary with
-          | Some acc -> Summary.observe acc ~outcomes ~best ~times:!times
-          | None -> ()
-        done;
+        let cells =
+          Array.fold_left
+            (fun cells trial ->
+              List.map2
+                (fun (name, c) (name', contrib) ->
+                  assert (name = name');
+                  (name, cell_add c contrib))
+                cells trial.contribs)
+            (List.map (fun name -> (name, cell_zero)) names)
+            results
+        in
+        (match summary with
+        | Some acc -> Array.iter (fun trial -> Summary.add acc trial.obs) results
+        | None -> ());
         let cells =
           List.map
             (fun (name, c) ->

@@ -29,14 +29,27 @@ type result = {
 val default_trials : unit -> int
 (** [MANROUTE_TRIALS] from the environment, else 150. *)
 
+val trial_rng : figure_id:string -> x:float -> seed:int -> trial:int -> Traffic.Rng.t
+(** The generator driving trial [trial] of point [x]: derived with
+    {!Traffic.Rng.of_key} from the trial's coordinates alone, never from
+    another trial's stream. This is what makes sharding over domains
+    invisible to the statistics. *)
+
 val run :
   ?trials:int ->
   ?seed:int ->
   ?model:Power.Model.t ->
   ?heuristics:Routing.Heuristic.t list ->
+  ?jobs:int ->
   ?summary:Summary.acc ->
   Figure.t ->
   result
 (** Defaults: {!default_trials} trials, seed 1, the paper's
-    {!Power.Model.kim_horowitz} model, all six heuristics. When [summary]
-    is given, every instance is also folded into it. *)
+    {!Power.Model.kim_horowitz} model, all six heuristics, {!Pool.default_jobs}
+    worker domains. When [summary] is given, every instance is also folded
+    into it, in trial order. For a fixed [seed], [rows] — and every
+    [summary] counter except the wall-clock runtimes — are bit-identical
+    for every value of [jobs]: trials are seeded independently via
+    {!trial_rng} and reduced in trial order. Per-heuristic runtimes are
+    monotonic wall-clock seconds measured on the worker that ran the
+    trial. *)

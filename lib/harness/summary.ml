@@ -23,35 +23,76 @@ let entry acc name =
       Hashtbl.add acc.table name e;
       e
 
-let observe_one acc name (report : Routing.Evaluate.report) =
-  let e = entry acc name in
-  if report.feasible then begin
-    e.succ <- e.succ + 1;
-    e.inv_sum <- e.inv_sum +. (1. /. report.total_power)
-  end
+(* Immutable record of one instance, computed where the instance ran (any
+   worker domain) and folded into an [acc] wherever convenient. *)
+type obs = {
+  o_cells : (string * float option) list;
+      (* Inverse power per heuristic when feasible; [None] registers the
+         name without counting a success. *)
+  o_static : float option; (* static/total of feasible BEST *)
+  o_times : (string * float) list;
+}
 
-let observe acc ~outcomes ~best ~times =
+let observation ~outcomes ~best ~times =
+  let cell (o : Routing.Best.outcome) =
+    ( o.heuristic.Routing.Heuristic.name,
+      if o.report.Routing.Evaluate.feasible then
+        Some (1. /. o.report.total_power)
+      else None )
+  in
+  let best_cell, o_static =
+    match best with
+    | Some (o : Routing.Best.outcome) ->
+        ( snd (cell o),
+          if o.report.feasible && o.report.total_power > 0. then
+            Some (o.report.static_power /. o.report.total_power)
+          else None )
+    | None -> (None, None)
+  in
+  {
+    o_cells = List.map cell outcomes @ [ ("BEST", best_cell) ];
+    o_static;
+    o_times = times;
+  }
+
+let add acc obs =
   acc.instances <- acc.instances + 1;
   List.iter
-    (fun (o : Routing.Best.outcome) ->
-      observe_one acc o.heuristic.Routing.Heuristic.name o.report)
-    outcomes;
-  (match best with
-  | Some (o : Routing.Best.outcome) ->
-      observe_one acc "BEST" o.report;
-      if o.report.feasible && o.report.total_power > 0. then begin
-        acc.static_sum <-
-          acc.static_sum
-          +. (o.report.static_power /. o.report.total_power);
-        acc.static_n <- acc.static_n + 1
-      end
-  | None -> ignore (entry acc "BEST"));
+    (fun (name, inv) ->
+      let e = entry acc name in
+      match inv with
+      | Some v ->
+          e.succ <- e.succ + 1;
+          e.inv_sum <- e.inv_sum +. v
+      | None -> ())
+    obs.o_cells;
+  (match obs.o_static with
+  | Some frac ->
+      acc.static_sum <- acc.static_sum +. frac;
+      acc.static_n <- acc.static_n + 1
+  | None -> ());
   List.iter
     (fun (name, s) ->
       let e = entry acc name in
       e.time_s <- e.time_s +. s;
       e.timed <- e.timed + 1)
-    times
+    obs.o_times
+
+let observe acc ~outcomes ~best ~times =
+  add acc (observation ~outcomes ~best ~times)
+
+let merge ~into src =
+  into.instances <- into.instances + src.instances;
+  Hashtbl.iter
+    (fun name (e : per_h) ->
+      let d = entry into name in
+      d.succ <- d.succ + e.succ;
+      d.inv_sum <- d.inv_sum +. e.inv_sum;
+      d.time_s <- d.time_s +. e.time_s;
+      d.timed <- d.timed + e.timed)
+    src.table;
+  into.static_sum <- into.static_sum +. src.static_sum;
+  into.static_n <- into.static_n + src.static_n
 
 type t = {
   instances : int;

@@ -5,9 +5,32 @@
     (about 1/7), and heuristic runtimes. *)
 
 type acc
-(** Mutable accumulator; feed it the outcomes of every instance. *)
+(** Mutable accumulator; feed it the outcomes of every instance. Not
+    thread-safe — under a worker pool, build one {!obs} per instance on the
+    worker and {!add} (or {!merge}) them in a deterministic order. *)
 
 val create : unit -> acc
+
+type obs
+(** Immutable observation of a single instance — safe to build on any
+    domain and fold later. *)
+
+val observation :
+  outcomes:Routing.Best.outcome list ->
+  best:Routing.Best.outcome option ->
+  times:(string * float) list ->
+  obs
+(** Capture one instance: the per-heuristic outcomes, the BEST outcome, and
+    per-heuristic wall-clock seconds. *)
+
+val add : acc -> obs -> unit
+(** Fold one observation into the accumulator. *)
+
+val merge : into:acc -> acc -> unit
+(** [merge ~into src] adds every counter of [src] to [into]. Associative
+    over integer counters; float sums are exact only for a fixed merge
+    order, so merge accumulators in a deterministic order when bit-stable
+    output matters. *)
 
 val observe :
   acc ->
@@ -15,8 +38,7 @@ val observe :
   best:Routing.Best.outcome option ->
   times:(string * float) list ->
   unit
-(** Record one instance: the per-heuristic outcomes, the BEST outcome, and
-    per-heuristic wall-clock seconds. *)
+(** [add acc (observation ...)] — the sequential convenience path. *)
 
 type t = {
   instances : int;

@@ -12,6 +12,25 @@ let mix z =
 
 let create seed = { state = mix (Int64.of_int seed) }
 
+let of_key label components =
+  (* FNV-1a over the label bytes, then one SplitMix64 finalization per
+     component: collision-resistant enough for seed derivation, and stable
+     across OCaml versions (unlike [Hashtbl.hash]). *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001B3L)
+    label;
+  let state =
+    List.fold_left
+      (fun s c -> mix (Int64.add (Int64.logxor s (mix c)) golden_gamma))
+      (mix !h) components
+  in
+  { state }
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state

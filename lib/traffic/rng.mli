@@ -10,6 +10,16 @@ type t
 val create : int -> t
 (** A fresh generator from a seed. Equal seeds yield equal streams. *)
 
+val of_key : string -> int64 list -> t
+(** [of_key label components] derives a generator from a textual label and
+    integer components, hashed through the SplitMix64 finalizer. The
+    Monte-Carlo harness seeds every trial with
+    [of_key figure_id [seed; bits_of_float x; trial]], which makes each
+    trial's stream a pure function of its coordinates — independent of
+    execution order, and therefore of how trials are sharded over
+    domains. Equal keys yield equal streams; any differing component
+    yields a statistically independent stream. *)
+
 val split : t -> t
 (** A statistically independent generator derived from (and advancing) the
     parent — handy to give each Monte-Carlo trial its own stream. *)

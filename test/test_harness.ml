@@ -87,6 +87,66 @@ let test_runner_deterministic () =
         ra.cells rb.cells)
     a.rows b.rows
 
+let test_runner_jobs_invariant () =
+  (* The sharding contract: jobs:1 and jobs:4 with the same seed give
+     bit-identical rows and identical Summary counters (runtimes are the
+     one wall-clock-dependent output and are excluded). *)
+  let campaign jobs =
+    let acc = Harness.Summary.create () in
+    let r = Harness.Runner.run ~trials:12 ~seed:7 ~jobs ~summary:acc tiny_figure in
+    (r, Harness.Summary.finalize acc)
+  in
+  let r1, s1 = campaign 1 and r4, s4 = campaign 4 in
+  List.iter2
+    (fun (ra : Harness.Runner.row) (rb : Harness.Runner.row) ->
+      check_bool "same x" true (ra.x = rb.x);
+      List.iter2
+        (fun (na, (sa : Harness.Runner.stats)) (nb, (sb : Harness.Runner.stats)) ->
+          check_bool "same name" true (na = nb);
+          check_bool "bit-identical stats" true (sa = sb))
+        ra.cells rb.cells)
+    r1.rows r4.rows;
+  check_int "same instances" s1.Harness.Summary.instances
+    s4.Harness.Summary.instances;
+  check_bool "identical success ratios" true
+    (s1.success_ratio = s4.success_ratio);
+  check_bool "identical mean inverse power" true
+    (s1.mean_inverse_power = s4.mean_inverse_power);
+  check_bool "identical vs-XY ratios" true
+    (s1.inverse_power_vs_xy = s4.inverse_power_vs_xy);
+  check_bool "identical static fraction" true
+    (s1.static_fraction = s4.static_fraction
+    || (Float.is_nan s1.static_fraction && Float.is_nan s4.static_fraction))
+
+let test_pool_map_orders_results () =
+  let a = Harness.Pool.map ~jobs:4 100 (fun i -> i * i) in
+  check_int "length" 100 (Array.length a);
+  Array.iteri (fun i v -> check_int "ordered" (i * i) v) a;
+  check_int "empty" 0 (Array.length (Harness.Pool.map ~jobs:4 0 Fun.id));
+  check_int "singleton" 1 (Array.length (Harness.Pool.map ~jobs:4 1 Fun.id))
+
+let test_pool_map_propagates_exceptions () =
+  Alcotest.check_raises "worker exception reaches caller"
+    (Invalid_argument "boom") (fun () ->
+      ignore
+        (Harness.Pool.map ~jobs:3 64 (fun i ->
+             if i = 13 then invalid_arg "boom" else i)))
+
+let test_summary_merge_matches_sequential () =
+  (* Folding two halves into separate accumulators and merging equals one
+     sequential accumulation. *)
+  let seq = Harness.Summary.create () in
+  ignore (Harness.Runner.run ~trials:10 ~seed:2 ~summary:seq tiny_figure);
+  let a = Harness.Summary.create () and b = Harness.Summary.create () in
+  ignore (Harness.Runner.run ~trials:10 ~seed:2 ~summary:a tiny_figure);
+  Harness.Summary.merge ~into:b a;
+  let fs = Harness.Summary.finalize seq and fm = Harness.Summary.finalize b in
+  check_int "instances" fs.Harness.Summary.instances
+    fm.Harness.Summary.instances;
+  check_bool "success ratios" true (fs.success_ratio = fm.success_ratio);
+  check_bool "mean inverse power" true
+    (fs.mean_inverse_power = fm.mean_inverse_power)
+
 let contains_substring haystack needle =
   let nh = String.length haystack and nn = String.length needle in
   let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
@@ -256,6 +316,13 @@ let () =
         [
           quick "bookkeeping" test_runner_bookkeeping;
           quick "deterministic" test_runner_deterministic;
+          quick "jobs invariant" test_runner_jobs_invariant;
+        ] );
+      ( "pool",
+        [
+          quick "map orders results" test_pool_map_orders_results;
+          quick "map propagates exceptions" test_pool_map_propagates_exceptions;
+          quick "summary merge" test_summary_merge_matches_sequential;
         ] );
       ( "render",
         [

@@ -1,0 +1,125 @@
+(* Oracle tests: on instances small enough for the exact branch-and-bound
+   (meshes up to 4x4, at most 4 communications), every heuristic is checked
+   against the ground truth — no feasible solution may beat the optimum,
+   BEST must be exactly the cheapest feasible outcome, and a proved-
+   infeasible instance must defeat every single-path policy. *)
+
+let check_bool = Alcotest.(check bool)
+let km = Power.Model.kim_horowitz
+
+let instance_gen =
+  QCheck.Gen.(
+    triple (int_range 0 100_000) (int_range 2 4) (int_range 1 4))
+
+let make_instance (seed, p, n) =
+  let mesh = Noc.Mesh.square p in
+  let rng = Traffic.Rng.create seed in
+  (* A wide band so both feasible and infeasible instances appear. *)
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n
+      ~weight:(Traffic.Workload.weight ~lo:400. ~hi:3000.)
+  in
+  (mesh, comms)
+
+let prop_heuristics_never_beat_exact =
+  QCheck.Test.make
+    ~name:"feasible heuristic power is bounded below by the exact optimum"
+    ~count:60
+    (QCheck.make instance_gen)
+    (fun params ->
+      let mesh, comms = make_instance params in
+      match Optim.Exact.route km mesh comms with
+      | Optim.Exact.Optimal (_, opt) ->
+          List.for_all
+            (fun (o : Routing.Best.outcome) ->
+              (not o.report.Routing.Evaluate.feasible)
+              || o.report.total_power >= opt -. 1e-6)
+            (Routing.Best.run_all km mesh comms)
+      | Optim.Exact.Infeasible ->
+          (* The exact search proved no single-path routing fits; no
+             heuristic may claim otherwise. *)
+          List.for_all
+            (fun (o : Routing.Best.outcome) ->
+              not o.report.Routing.Evaluate.feasible)
+            (Routing.Best.run_all km mesh comms)
+      | Optim.Exact.Truncated _ -> QCheck.assume_fail ())
+
+let prop_best_of_is_cheapest_feasible =
+  QCheck.Test.make
+    ~name:"best_of returns exactly the cheapest feasible outcome" ~count:60
+    (QCheck.make instance_gen)
+    (fun params ->
+      let mesh, comms = make_instance params in
+      let outcomes = Routing.Best.run_all km mesh comms in
+      let feasible =
+        List.filter
+          (fun (o : Routing.Best.outcome) ->
+            o.report.Routing.Evaluate.feasible)
+          outcomes
+      in
+      match Routing.Best.best_of outcomes with
+      | None -> feasible = []
+      | Some best ->
+          best.report.Routing.Evaluate.feasible
+          && List.for_all
+               (fun (o : Routing.Best.outcome) ->
+                 best.report.Routing.Evaluate.total_power
+                 <= o.report.total_power +. 1e-9)
+               feasible)
+
+let prop_best_gap_to_optimum_nonnegative =
+  QCheck.Test.make
+    ~name:"BEST's power is sandwiched between the optimum and any heuristic"
+    ~count:40
+    (QCheck.make instance_gen)
+    (fun params ->
+      let mesh, comms = make_instance params in
+      match Optim.Exact.route km mesh comms with
+      | Optim.Exact.Optimal (_, opt) -> (
+          match Routing.Best.route km mesh comms with
+          | None -> true (* heuristics may all fail on a solvable instance *)
+          | Some best ->
+              best.report.Routing.Evaluate.total_power >= opt -. 1e-6)
+      | _ -> true)
+
+let test_fig2_oracle () =
+  (* Deterministic anchor: on the paper's Figure 2 instance the optimum is
+     56 and every Manhattan heuristic finds it. *)
+  let coord row col = Noc.Coord.make ~row ~col in
+  let model = Power.Model.make ~p_leak:0. ~p0:1. ~alpha:3. ~capacity:4. () in
+  let comms =
+    [
+      Traffic.Communication.make ~id:0 ~src:(coord 1 1) ~snk:(coord 2 2) ~rate:1.;
+      Traffic.Communication.make ~id:1 ~src:(coord 1 1) ~snk:(coord 2 2) ~rate:3.;
+    ]
+  in
+  let mesh = Noc.Mesh.square 2 in
+  match Optim.Exact.route model mesh comms with
+  | Optim.Exact.Optimal (_, opt) ->
+      Alcotest.(check (float 1e-9)) "optimum is 56" 56. opt;
+      (match Routing.Best.route model mesh comms with
+      | Some best ->
+          Alcotest.(check (float 1e-9)) "BEST finds the optimum" 56.
+            best.report.Routing.Evaluate.total_power
+      | None -> Alcotest.fail "BEST must be feasible on fig2");
+      List.iter
+        (fun (o : Routing.Best.outcome) ->
+          if o.report.Routing.Evaluate.feasible then
+            check_bool
+              (o.heuristic.Routing.Heuristic.name ^ " above optimum")
+              true
+              (o.report.total_power >= opt -. 1e-9))
+        (Routing.Best.run_all model mesh comms)
+  | _ -> Alcotest.fail "fig2 must solve exactly"
+
+let () =
+  Alcotest.run "oracle"
+    [
+      ( "exact-vs-heuristics",
+        [
+          Alcotest.test_case "figure 2 anchor" `Quick test_fig2_oracle;
+          QCheck_alcotest.to_alcotest prop_heuristics_never_beat_exact;
+          QCheck_alcotest.to_alcotest prop_best_of_is_cheapest_feasible;
+          QCheck_alcotest.to_alcotest prop_best_gap_to_optimum_nonnegative;
+        ] );
+    ]

@@ -75,6 +75,86 @@ let test_rng_shuffle_permutes () =
   check_bool "is permutation" true (sorted = Array.init 20 Fun.id)
 
 (* ------------------------------------------------------------------ *)
+(* Rng property suite. Adversarial seeds (0, +-1, extremes) are mixed
+   into every generator because SplitMix64's weak spots are low-entropy
+   states. *)
+
+let adversarial_seeds =
+  [ 0; 1; -1; max_int; min_int; 0x9E3779B9; 42; min_int + 1 ]
+
+let seed_gen =
+  QCheck.Gen.(
+    oneof [ oneofl adversarial_seeds; int_range (-10_000) 10_000; int ])
+
+let prop_rng_int_bounds =
+  QCheck.Test.make ~name:"int/range always respect their bounds" ~count:300
+    (QCheck.make QCheck.Gen.(pair seed_gen (int_range 1 5000)))
+    (fun (seed, bound) ->
+      let rng = Traffic.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let x = Traffic.Rng.int rng bound in
+        if x < 0 || x >= bound then ok := false;
+        let lo = -bound and hi = bound / 2 in
+        let y = Traffic.Rng.range rng ~lo ~hi in
+        if y < lo || y > hi then ok := false
+      done;
+      !ok)
+
+let prop_rng_split_no_replay =
+  QCheck.Test.make ~name:"split streams do not replay the parent" ~count:200
+    (QCheck.make seed_gen)
+    (fun seed ->
+      let parent = Traffic.Rng.create seed in
+      let child = Traffic.Rng.split parent in
+      let draw rng = List.init 32 (fun _ -> Traffic.Rng.bits64 rng) in
+      (* The child must neither mirror the parent's continuation nor the
+         parent's stream replayed from its pre-split state. *)
+      let child_out = draw child and parent_out = draw parent in
+      let fresh = Traffic.Rng.create seed in
+      let original_out = draw fresh in
+      child_out <> parent_out && child_out <> original_out)
+
+let prop_rng_shuffle_is_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    (QCheck.make QCheck.Gen.(pair seed_gen (int_range 0 200)))
+    (fun (seed, n) ->
+      let rng = Traffic.Rng.create seed in
+      let a = Array.init n Fun.id in
+      Traffic.Rng.shuffle rng a;
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      sorted = Array.init n Fun.id)
+
+let prop_rng_gaussian_finite =
+  QCheck.Test.make ~name:"gaussian is finite for adversarial seeds"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(triple seed_gen (float_bound_inclusive 1e6) (float_bound_inclusive 1e4)))
+    (fun (seed, mean, stddev) ->
+      let rng = Traffic.Rng.create seed in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let g = Traffic.Rng.gaussian rng ~mean ~stddev in
+        if not (Float.is_finite g) then ok := false
+      done;
+      !ok)
+
+let prop_rng_of_key_deterministic =
+  QCheck.Test.make ~name:"of_key: equal keys equal streams, trial splits"
+    ~count:200
+    (QCheck.make QCheck.Gen.(triple seed_gen (int_range 0 1000) (int_range 0 1000)))
+    (fun (seed, trial, trial') ->
+      let key t =
+        Traffic.Rng.of_key "fig7a"
+          [ Int64.of_int seed; Int64.bits_of_float 40.; Int64.of_int t ]
+      in
+      let draw rng = List.init 16 (fun _ -> Traffic.Rng.bits64 rng) in
+      let same = draw (key trial) = draw (key trial) in
+      let diverges = trial = trial' || draw (key trial) <> draw (key trial') in
+      same && diverges)
+
+(* ------------------------------------------------------------------ *)
 (* Communication *)
 
 let test_communication_make () =
@@ -380,6 +460,11 @@ let () =
           Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
           Alcotest.test_case "means" `Quick test_rng_mean_and_gaussian;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_rng_int_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_split_no_replay;
+          QCheck_alcotest.to_alcotest prop_rng_shuffle_is_permutation;
+          QCheck_alcotest.to_alcotest prop_rng_gaussian_finite;
+          QCheck_alcotest.to_alcotest prop_rng_of_key_deterministic;
         ] );
       ( "communication",
         [
