@@ -1,7 +1,12 @@
 (* figures: regenerate every simulation figure of the paper to CSV plus an
    ASCII rendering on stdout. Output directory: first argument, default
    ./results; worker domains: second argument, default MANROUTE_JOBS or
-   the core count. Trials per point: MANROUTE_TRIALS (default 150). *)
+   the core count. Trials per point: MANROUTE_TRIALS (default 150).
+
+   The campaign is crash-safe: each figure checkpoints its completed rows
+   to <dir>/checkpoint.tsv, so a killed run resumes where it stopped with
+   bit-identical rows (the cross-figure summary then covers only the
+   freshly computed rows). Delete the sidecar to force a full recompute. *)
 
 let () =
   let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "results" in
@@ -11,12 +16,16 @@ let () =
   Format.printf "trials/point: %d, jobs: %d@."
     (Harness.Runner.default_trials ())
     (match jobs with Some j -> j | None -> Harness.Pool.default_jobs ());
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let checkpoint = Filename.concat dir "checkpoint.tsv" in
   let acc = Harness.Summary.create () in
   List.iter
     (fun figure ->
-      let r = Harness.Runner.run ?jobs ~summary:acc figure in
+      let r = Harness.Runner.run ?jobs ~summary:acc ~checkpoint figure in
       Format.printf "%a@." Harness.Render.pp_result r;
       let path = Harness.Render.write_csv ~dir r in
       Format.printf "-> %s@.@." path)
     Harness.Figure.all;
+  Format.printf "-> %s (campaign checkpoint; delete to recompute)@.@."
+    checkpoint;
   Format.printf "%a@." Harness.Summary.pp (Harness.Summary.finalize acc)

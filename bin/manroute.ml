@@ -48,6 +48,27 @@ let model_t =
 let seed_t =
   Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
+(* Strictly positive integer arguments ("--jobs 0", "--trials -3" or
+   "--trials many" must die with a one-line error, not be silently
+   remapped to a default). *)
+let pos_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive integer" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok n
+    | Some _ -> Error (`Msg (Printf.sprintf "%s is negative" s))
+    | None -> Error (`Msg (Printf.sprintf "%S is not an integer" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let n_t =
   Arg.(
     value & opt int 20
@@ -90,23 +111,23 @@ let route_cmd =
              or the extensions SA (simulated annealing) and PRMP2/PRMP4 \
              (multi-path path remover).")
   in
+  (* The extensions are fault-oblivious algorithms; [of_plain] bolts the
+     degradation-aware repair pass onto them so --kill works here too. *)
   let extended name =
     match String.uppercase_ascii name with
     | "SA" ->
         Some
-          {
-            Routing.Heuristic.name = "SA";
-            description = "simulated annealing (reference)";
-            run = (fun model mesh comms -> Routing.Annealer.route mesh model comms);
-          }
+          (Routing.Heuristic.of_plain ~name:"SA"
+             ~description:"simulated annealing (reference)"
+             (fun model mesh comms -> Routing.Annealer.route mesh model comms))
     | "PRMP2" | "PRMP4" ->
         let s = if String.uppercase_ascii name = "PRMP2" then 2 else 4 in
         Some
-          {
-            Routing.Heuristic.name = String.uppercase_ascii name;
-            description = "multi-path path remover";
-            run = (fun _model mesh comms -> Routing.Path_remover.route_multipath ~s mesh comms);
-          }
+          (Routing.Heuristic.of_plain
+             ~name:(String.uppercase_ascii name)
+             ~description:"multi-path path remover"
+             (fun _model mesh comms ->
+               Routing.Path_remover.route_multipath ~s mesh comms))
     | _ -> None
   in
   let sim_t =
@@ -124,7 +145,17 @@ let route_cmd =
       & info [ "heatmap" ]
           ~doc:"Print an ASCII link-load map of the best feasible routing.")
   in
-  let run mesh model seed n weights file heuristic sim paths heatmap =
+  let kill_t =
+    Arg.(
+      value
+      & opt nonneg_int_conv 0
+      & info [ "kill" ] ~docv:"N"
+          ~doc:
+            "Kill N random links (connectivity-preserving, seeded from \
+             $(b,--seed)) before routing; heuristics detour around the \
+             damage.")
+  in
+  let run mesh model seed n weights file heuristic sim paths heatmap kill =
     match load_instance mesh seed n weights file with
     | Error m ->
         Printf.eprintf "error: %s\n" m;
@@ -132,6 +163,18 @@ let route_cmd =
     | Ok (mesh, comms) ->
         Format.printf "%d communications on %a, %a@." (List.length comms)
           Noc.Mesh.pp mesh Power.Model.pp model;
+        let fault =
+          if kill = 0 then None
+          else begin
+            let rng = Traffic.Rng.of_key "cli-kill" [ Int64.of_int seed ] in
+            let f =
+              Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng) ~kills:kill
+                mesh
+            in
+            Format.printf "%a@." Noc.Fault.pp f;
+            Some f
+          end
+        in
         let heuristics =
           if heuristic = "all" then Routing.Heuristic.all
           else
@@ -142,7 +185,9 @@ let route_cmd =
                 Printf.eprintf "unknown heuristic %s\n" heuristic;
                 exit 1
         in
-        let outcomes = Routing.Best.run_all ~heuristics model mesh comms in
+        let outcomes =
+          Routing.Best.run_all ~heuristics ?fault model mesh comms
+        in
         List.iter
           (fun (o : Routing.Best.outcome) ->
             Format.printf "%-4s %a@." o.heuristic.name
@@ -153,7 +198,12 @@ let route_cmd =
                   List.iter
                     (fun (p, share) ->
                       Format.printf "      %g via %a@." share Noc.Path.pp p)
-                    r.paths)
+                    r.paths;
+                  List.iter
+                    (fun (w, share) ->
+                      Format.printf "      %g via detour %a@." share Noc.Walk.pp
+                        w)
+                    r.detours)
                 (Routing.Solution.routes o.solution))
           outcomes;
         (match Routing.Best.best_of outcomes with
@@ -177,7 +227,7 @@ let route_cmd =
   let term =
     Term.(
       const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t
-      $ heuristic_t $ sim_t $ verbose_t $ heatmap_t)
+      $ heuristic_t $ sim_t $ verbose_t $ heatmap_t $ kill_t)
   in
   Cmd.v
     (Cmd.info "route" ~doc:"Route an instance with the paper's heuristics")
@@ -212,11 +262,14 @@ let figure_cmd =
       required
       & pos 0 (some string) None
       & info [] ~docv:"FIGURE"
-          ~doc:"One of fig7a..fig7c, fig8a..fig8c, fig9a..fig9c, or all.")
+          ~doc:
+            "One of fig7a..fig7c, fig8a..fig8c, fig9a..fig9c, figf (fault \
+             sweep), or all.")
   in
   let trials_t =
     Arg.(
-      value & opt int 0
+      value
+      & opt (some pos_int_conv) None
       & info [ "trials" ]
           ~doc:"Monte-Carlo trials per point (default: MANROUTE_TRIALS or 150).")
   in
@@ -228,14 +281,25 @@ let figure_cmd =
   in
   let jobs_t =
     Arg.(
-      value & opt int 0
+      value
+      & opt (some pos_int_conv) None
       & info [ "j"; "jobs" ]
           ~doc:
             "Worker domains for the Monte-Carlo campaign (default: \
              MANROUTE_JOBS or the core count). Results are bit-identical \
              for any value.")
   in
-  let run id trials csv seed jobs =
+  let checkpoint_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:
+            "Append each completed row to PATH and, on a re-run, resume \
+             from the rows already there (bit-identical to an \
+             uninterrupted run).")
+  in
+  let run id trials csv seed jobs checkpoint =
     let figures =
       if String.lowercase_ascii id = "all" then Harness.Figure.all
       else
@@ -245,12 +309,19 @@ let figure_cmd =
             Printf.eprintf "unknown figure %s\n" id;
             exit 1
     in
-    let trials = if trials > 0 then Some trials else None in
-    let jobs = if jobs > 0 then Some jobs else None in
+    (match checkpoint with
+    | Some path when not (Sys.file_exists (Filename.dirname path)) ->
+        Printf.eprintf "checkpoint directory %s does not exist\n"
+          (Filename.dirname path);
+        exit 1
+    | _ -> ());
     let acc = Harness.Summary.create () in
     List.iter
       (fun figure ->
-        let r = Harness.Runner.run ?trials ?jobs ~seed ~summary:acc figure in
+        let r =
+          Harness.Runner.run ?trials ?jobs ~seed ~summary:acc ?checkpoint
+            figure
+        in
         Format.printf "%a@." Harness.Render.pp_result r;
         match csv with
         | Some dir ->
@@ -260,7 +331,10 @@ let figure_cmd =
       figures;
     Format.printf "%a@." Harness.Summary.pp (Harness.Summary.finalize acc)
   in
-  let term = Term.(const run $ id_t $ trials_t $ csv_t $ seed_t $ jobs_t) in
+  let term =
+    Term.(
+      const run $ id_t $ trials_t $ csv_t $ seed_t $ jobs_t $ checkpoint_t)
+  in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce a simulation figure of the paper")
     term
@@ -366,7 +440,16 @@ let theory_cmd =
 (* ---------------- optimal ---------------- *)
 
 let optimal_cmd =
-  let run mesh model seed n weights file =
+  let max_nodes_t =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "max-nodes" ] ~docv:"N"
+          ~doc:
+            "Node budget for the branch-and-bound (default 5000000); a \
+             typed timeout is reported instead of an unbounded search.")
+  in
+  let run mesh model seed n weights file max_nodes =
     match load_instance mesh seed n weights file with
     | Error m ->
         Printf.eprintf "error: %s\n" m;
@@ -374,7 +457,7 @@ let optimal_cmd =
     | Ok (mesh, comms) ->
         Format.printf "exact 1-MP search on %a, %d communications@."
           Noc.Mesh.pp mesh (List.length comms);
-        (match Optim.Exact.route model mesh comms with
+        (match Optim.Exact.route ?max_nodes model mesh comms with
         | Optim.Exact.Optimal (_, p) ->
             Format.printf "optimal 1-MP power: %.3f mW@." p;
             List.iter
@@ -388,14 +471,26 @@ let optimal_cmd =
               (Routing.Best.run_all model mesh comms)
         | Optim.Exact.Infeasible ->
             Format.printf "instance proved infeasible for 1-MP@."
-        | Optim.Exact.Truncated _ ->
-            Format.printf "search truncated; use a smaller instance@.");
+        | Optim.Exact.Timeout { nodes; incumbent } ->
+            (match incumbent with
+            | Some (_, p) ->
+                Format.printf
+                  "node budget exhausted after %d nodes; best incumbent \
+                   %.3f mW (not proved optimal)@."
+                  nodes p
+            | None ->
+                Format.printf
+                  "node budget exhausted after %d nodes with no feasible \
+                   incumbent; raise --max-nodes or shrink the instance@."
+                  nodes));
         let cont = Power.Model.kim_horowitz_continuous in
         Format.printf "max-MP dynamic lower bound (Frank-Wolfe): %.3f mW@."
           (Optim.Frank_wolfe.lower_bound cont mesh comms)
   in
   let term =
-    Term.(const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t)
+    Term.(
+      const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t
+      $ max_nodes_t)
   in
   Cmd.v
     (Cmd.info "optimal"

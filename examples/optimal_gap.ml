@@ -41,7 +41,7 @@ let () =
                   (Hashtbl.find wins o.heuristic.name + 1)
             end)
           (Routing.Best.run_all model mesh comms)
-    | Optim.Exact.Infeasible | Optim.Exact.Truncated _ -> ()
+    | Optim.Exact.Infeasible | Optim.Exact.Timeout _ -> ()
   done;
   Format.printf
     "exact 1-MP optimum computed on %d/%d random 4x4 instances (6 comms)@.@."

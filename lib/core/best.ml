@@ -4,11 +4,15 @@ type outcome = {
   report : Evaluate.report;
 }
 
-let run_all ?(heuristics = Heuristic.all) model mesh comms =
+let run_all ?(heuristics = Heuristic.all) ?fault model mesh comms =
   List.map
     (fun (h : Heuristic.t) ->
-      let solution = h.run model mesh comms in
-      { heuristic = h; solution; report = Evaluate.solution model solution })
+      let solution = h.run ?fault model mesh comms in
+      {
+        heuristic = h;
+        solution;
+        report = Evaluate.solution ?fault model solution;
+      })
     heuristics
 
 let best_of outcomes =
@@ -24,5 +28,5 @@ let best_of outcomes =
         | _ -> Some o)
     None outcomes
 
-let route ?heuristics model mesh comms =
-  best_of (run_all ?heuristics model mesh comms)
+let route ?heuristics ?fault model mesh comms =
+  best_of (run_all ?heuristics ?fault model mesh comms)

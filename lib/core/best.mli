@@ -9,17 +9,21 @@ type outcome = {
 
 val run_all :
   ?heuristics:Heuristic.t list ->
+  ?fault:Noc.Fault.t ->
   Power.Model.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->
   outcome list
-(** One outcome per heuristic (default: all six), in registry order. *)
+(** One outcome per heuristic (default: all six), in registry order. The
+    fault scenario, when given, is passed to each heuristic and to the
+    evaluation. *)
 
 val best_of : outcome list -> outcome option
 (** Feasible outcome of minimum total power, if any. *)
 
 val route :
   ?heuristics:Heuristic.t list ->
+  ?fault:Noc.Fault.t ->
   Power.Model.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->

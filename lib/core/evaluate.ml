@@ -6,6 +6,7 @@ type report = {
   active_links : int;
   max_load : float;
   overloaded : (Noc.Mesh.link * float) list;
+  detour_hops : int;
 }
 
 let of_loads model loads =
@@ -17,7 +18,10 @@ let of_loads model loads =
       if load > 0. then begin
         incr active;
         if load > !max_load then max_load := load;
-        match Power.Model.required_frequency model load with
+        match
+          Power.Model.required_frequency_capped model
+            ~factor:(Noc.Load.factor loads id) load
+        with
         | Some f ->
             static := !static +. model.Power.Model.p_leak;
             dynamic := !dynamic +. Power.Model.dynamic_power model f
@@ -37,23 +41,26 @@ let of_loads model loads =
     active_links = !active;
     max_load = !max_load;
     overloaded;
+    detour_hops = 0;
   }
 
-let solution model s = of_loads model (Solution.loads s)
+let solution ?fault model s =
+  { (of_loads model (Solution.loads ?fault s)) with
+    detour_hops = Solution.detour_hops s }
 
-let power model s =
-  let r = solution model s in
+let power ?fault model s =
+  let r = solution ?fault model s in
   if r.feasible then Some r.total_power else None
 
-let power_exn model s =
-  match power model s with
+let power_exn ?fault model s =
+  match power ?fault model s with
   | Some p -> p
   | None -> invalid_arg "Evaluate.power_exn: infeasible solution"
 
 (* Power per unit of delivered bandwidth: mW per Mb/s of requested
    traffic, i.e. (up to units) energy per bit. *)
-let power_per_rate model s =
-  let r = solution model s in
+let power_per_rate ?fault model s =
+  let r = solution ?fault model s in
   if not r.feasible then None
   else
     let demand =
@@ -66,15 +73,21 @@ let power_per_rate model s =
 
 let penalized model loads =
   Noc.Load.fold
-    (fun _ load acc -> acc +. Power.Model.penalized_cost model load)
+    (fun id load acc ->
+      acc
+      +. Power.Model.penalized_cost_capped model
+           ~factor:(Noc.Load.factor loads id) load)
     loads 0.
 
 let pp_report ppf r =
   if r.feasible then
     Format.fprintf ppf
       "feasible: P=%.3f mW (static %.3f + dynamic %.3f), %d active links, \
-       max load %g"
+       max load %g%s"
       r.total_power r.static_power r.dynamic_power r.active_links r.max_load
+      (if r.detour_hops > 0 then
+         Printf.sprintf ", detours +%d hops" r.detour_hops
+       else "")
   else
     Format.fprintf ppf "INFEASIBLE: %d overloaded links, max load %g"
       (List.length r.overloaded)

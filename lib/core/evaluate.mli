@@ -2,7 +2,10 @@
 
     A solution is {e valid} when no link load exceeds the model's capacity;
     its power is the sum over active links of leakage plus dynamic power at
-    the required (possibly quantized) frequency. *)
+    the required (possibly quantized) frequency. Under a fault scenario
+    (carried by the {!Noc.Load.t}), a degraded link's capacity — and its
+    usable frequency levels — shrink by its factor, so the same loads may be
+    infeasible on a faulty mesh. *)
 
 type report = {
   feasible : bool;
@@ -14,27 +17,32 @@ type report = {
   max_load : float;
   overloaded : (Noc.Mesh.link * float) list;
       (** Capacity violations, by decreasing load; empty iff feasible. *)
+  detour_hops : int;
+      (** Extra hops of non-Manhattan detour routes ({!Solution.detour_hops});
+          0 when evaluating raw loads. *)
 }
 
 val of_loads : Power.Model.t -> Noc.Load.t -> report
-(** Evaluate a load vector directly. *)
+(** Evaluate a load vector directly, against the fault scenario the loads
+    carry (if any). [detour_hops] is 0: loads alone cannot tell a detour. *)
 
-val solution : Power.Model.t -> Solution.t -> report
+val solution : ?fault:Noc.Fault.t -> Power.Model.t -> Solution.t -> report
 
-val power : Power.Model.t -> Solution.t -> float option
+val power : ?fault:Noc.Fault.t -> Power.Model.t -> Solution.t -> float option
 (** Total power when the solution is feasible. *)
 
-val power_exn : Power.Model.t -> Solution.t -> float
+val power_exn : ?fault:Noc.Fault.t -> Power.Model.t -> Solution.t -> float
 (** @raise Invalid_argument on an infeasible solution. *)
 
-val power_per_rate : Power.Model.t -> Solution.t -> float option
+val power_per_rate :
+  ?fault:Noc.Fault.t -> Power.Model.t -> Solution.t -> float option
 (** Total power divided by the total requested bandwidth (mW per Mb/s) — an
     energy-per-bit figure of merit; [None] on infeasible or empty
     solutions. *)
 
 val penalized : Power.Model.t -> Noc.Load.t -> float
-(** Total {!Power.Model.penalized_cost} over all links — the surrogate
-    objective used by repair heuristics; equals the total power on feasible
-    load vectors. *)
+(** Total {!Power.Model.penalized_cost_capped} over all links (factors from
+    the fault carried by the loads) — the surrogate objective used by repair
+    heuristics; equals the total power on feasible load vectors. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -2,52 +2,79 @@ type t = {
   name : string;
   description : string;
   run :
+    ?fault:Noc.Fault.t ->
     Power.Model.t ->
     Noc.Mesh.t ->
     Traffic.Communication.t list ->
     Solution.t;
 }
 
-let xy =
+(* Final guard of every policy: whatever the native fault handling missed
+   (dead-end tie-breaks, cut rectangles) is rerouted here, so no heuristic
+   ever returns a solution crossing a dead link. *)
+let repair fault model s =
+  match fault with
+  | Some f when not (Noc.Fault.is_trivial f) -> Repair.solution f model s
+  | _ -> s
+
+let of_plain ~name ~description plain =
   {
-    name = "XY";
-    description = "dimension-ordered routing: horizontal first, then vertical";
-    run = (fun _model mesh comms -> Xy.route mesh comms);
+    name;
+    description;
+    run =
+      (fun ?fault model mesh comms ->
+        repair fault model (plain model mesh comms));
   }
+
+let xy =
+  of_plain ~name:"XY"
+    ~description:
+      "dimension-ordered routing: horizontal first, then vertical"
+    (fun _model mesh comms -> Xy.route mesh comms)
 
 let sg =
   {
     name = "SG";
     description = "simple greedy: hop-by-hop least-loaded link";
-    run = (fun _model mesh comms -> Simple_greedy.route mesh comms);
+    run =
+      (fun ?fault _model mesh comms ->
+        repair fault _model (Simple_greedy.route ?fault mesh comms));
   }
 
 let ig =
   {
     name = "IG";
     description = "improved greedy: virtual pre-routing + per-step power bound";
-    run = (fun model mesh comms -> Improved_greedy.route mesh model comms);
+    run =
+      (fun ?fault model mesh comms ->
+        repair fault model (Improved_greedy.route ?fault mesh model comms));
   }
 
 let tb =
   {
     name = "TB";
     description = "two-bend: best among all <=2-bend routings";
-    run = (fun model mesh comms -> Two_bend.route mesh model comms);
+    run =
+      (fun ?fault model mesh comms ->
+        repair fault model (Two_bend.route ?fault mesh model comms));
   }
 
 let xyi =
   {
     name = "XYI";
     description = "XY improver: local diversions off the hottest links";
-    run = (fun model mesh comms -> Xy_improver.route mesh model comms);
+    run =
+      (fun ?fault model mesh comms ->
+        repair fault model (Xy_improver.route ?fault mesh model comms));
   }
 
 let pr =
   {
     name = "PR";
     description = "path remover: prune the all-paths ideal spread to one path";
-    run = (fun _model mesh comms -> Path_remover.route mesh comms);
+    run =
+      (fun ?fault model mesh comms ->
+        repair fault model (Path_remover.route ?fault mesh comms));
   }
 
 let all = [ xy; sg; ig; tb; xyi; pr ]

@@ -4,17 +4,35 @@
     simulation harness, the CLI and the benchmarks. Every policy returns a
     solution unconditionally; whether it {e succeeded} is decided by
     {!Evaluate.solution} (a policy "fails" on an instance when its solution
-    violates some link capacity, which is how the paper counts failures). *)
+    violates some link capacity, which is how the paper counts failures).
+
+    Under a fault scenario ([?fault]) every policy natively steers away
+    from dead and degraded links, and is additionally guarded by
+    {!Repair.solution}: the returned routes never cross a dead link,
+    detouring off the Manhattan rectangle when the fault cut all its paths.
+    [Repair.No_route] escapes when a communication's endpoints are
+    disconnected — the harness records it as a structured trial error. *)
 
 type t = {
   name : string;  (** Short name used in the paper's plots: XY, SG, ... *)
   description : string;
   run :
+    ?fault:Noc.Fault.t ->
     Power.Model.t ->
     Noc.Mesh.t ->
     Traffic.Communication.t list ->
     Solution.t;
 }
+
+val of_plain :
+  name:string ->
+  description:string ->
+  (Power.Model.t -> Noc.Mesh.t -> Traffic.Communication.t list -> Solution.t) ->
+  t
+(** Lift a fault-oblivious routing function into the registry signature:
+    with a non-trivial fault its output is post-repaired via
+    {!Repair.solution}. Used for XY and for external policies (the CLI's
+    SA/PRMP extensions). *)
 
 val xy : t
 val sg : t

@@ -16,9 +16,12 @@ let apply_preroute loads comm sign =
 
 (* Cost of sending [rate] more through a link, on top of its current
    (committed + virtual) load. Penalized so that the bound stays defined
-   when the instance is overloaded. *)
+   when the instance is overloaded; capped by the link's fault factor so
+   dead and degraded links repel traffic. *)
 let marginal model loads rate l =
-  Power.Model.penalized_cost model (Noc.Load.get_link loads l +. rate)
+  Power.Model.penalized_cost_capped model
+    ~factor:(Noc.Load.factor_link loads l)
+    (Noc.Load.get_link loads l +. rate)
 
 let cheapest_step model loads rate rect k =
   List.fold_left
@@ -52,8 +55,9 @@ let build_path model loads (comm : Traffic.Communication.t) =
   done;
   Noc.Path.of_cores cores
 
-let route ?(order = Traffic.Communication.By_rate_desc) mesh model comms =
-  let loads = Noc.Load.create mesh in
+let route ?(order = Traffic.Communication.By_rate_desc) ?fault mesh model
+    comms =
+  let loads = Noc.Load.create ?fault mesh in
   let sorted = Traffic.Communication.sort order comms in
   List.iter (fun comm -> apply_preroute loads comm 1.) sorted;
   let routes =

@@ -12,8 +12,11 @@
 
 val route :
   ?order:Traffic.Communication.order ->
+  ?fault:Noc.Fault.t ->
   Noc.Mesh.t ->
   Power.Model.t ->
   Traffic.Communication.t list ->
   Solution.t
-(** Default order: [By_rate_desc]. The result may be infeasible. *)
+(** Default order: [By_rate_desc]. The result may be infeasible. Under a
+    fault the per-step bounds use factor-capped costs, so dead and degraded
+    links repel the path. *)

@@ -31,28 +31,35 @@ let core_pos rect k (c : Noc.Coord.t) =
   let dr = abs (c.row - rect.Noc.Rect.src.Noc.Coord.row) in
   dr - max 0 (k - rect.Noc.Rect.dcol)
 
-let make_state mesh comm =
+let make_state ?fault mesh comm =
   let rect = Traffic.Communication.rect comm in
   let n = Noc.Rect.length rect in
+  let usable id =
+    match fault with None -> true | Some f -> Noc.Fault.usable_id f id
+  in
   let steps =
     Array.init n (fun k ->
         Array.of_list
           (List.map
              (fun (l : Noc.Mesh.link) ->
+               let id = Noc.Mesh.link_id mesh l in
                {
-                 id = Noc.Mesh.link_id mesh l;
+                 id;
                  src_step = k;
                  src_pos = core_pos rect k l.src;
                  dst_pos = core_pos rect (k + 1) l.dst;
-                 allowed = true;
+                 allowed = usable id;
                })
              (Noc.Rect.links_on_step rect k)))
+  in
+  let count_allowed slots =
+    Array.fold_left (fun n s -> if s.allowed then n + 1 else n) 0 slots
   in
   {
     comm;
     steps;
-    alive_count = Array.map Array.length steps;
-    single = Array.for_all (fun s -> Array.length s = 1) steps;
+    alive_count = Array.map count_allowed steps;
+    single = Array.for_all (fun s -> count_allowed s = 1) steps;
     finished = false;
     fwd = Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) false);
     bwd = Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) false);
@@ -99,6 +106,23 @@ let recompute st =
     done;
     true
   end
+
+(* Fault-aware state: prune slots lying on no surviving Manhattan path. If
+   the fault cut every Manhattan path of the rectangle, fall back to the
+   full rectangle — the repair pass will detour this communication. *)
+let make_state_pruned ?fault mesh comm =
+  let st = make_state ?fault mesh comm in
+  (match fault with
+  | None -> ()
+  | Some _ ->
+      if not (recompute st) then begin
+        Array.iter (Array.iter (fun s -> s.allowed <- true)) st.steps;
+        Array.iteri
+          (fun k slots -> st.alive_count.(k) <- Array.length slots)
+          st.steps;
+        st.single <- Array.for_all (fun s -> Array.length s = 1) st.steps
+      end);
+  st
 
 let spread loads st sign =
   let rate = st.comm.Traffic.Communication.rate in
@@ -199,7 +223,23 @@ let extract_path loads st =
     Array.iter
       (fun s ->
         if s.allowed then begin
-          let c = cost.(k + 1).(s.dst_pos) +. Noc.Load.get loads s.id in
+          (* Planned effective occupancy (load + rate) / phi; every path of
+             the rectangle has the same hop count, so without a fault the
+             added rate shifts all candidates equally and the extraction is
+             unchanged. Dead links carry a huge *finite* penalty, not
+             infinity: when the fault cut every Manhattan path of the
+             rectangle (the all-allowed fallback of [make_state_pruned]),
+             the DP must still chain through — it then picks the path with
+             the fewest dead crossings and the repair pass detours them. *)
+          let hop =
+            let phi = Noc.Load.factor loads s.id in
+            if phi <= 0. then 1e15
+            else
+              (Noc.Load.get loads s.id
+              +. st.comm.Traffic.Communication.rate)
+              /. phi
+          in
+          let c = cost.(k + 1).(s.dst_pos) +. hop in
           if c < cost.(k).(s.src_pos) then begin
             cost.(k).(s.src_pos) <- c;
             via.(k).(s.src_pos) <- Some s
@@ -223,9 +263,11 @@ let extract_path loads st =
 (* Core PR loop, parameterized by the per-communication stopping rule:
    keep deleting links from the hottest down until [finished] holds for
    every communication. *)
-let solve ~finished mesh comms =
-  let loads = Noc.Load.create mesh in
-  let states = Array.of_list (List.map (make_state mesh) comms) in
+let solve ~finished ?fault mesh comms =
+  let loads = Noc.Load.create ?fault mesh in
+  let states =
+    Array.of_list (List.map (make_state_pruned ?fault mesh) comms)
+  in
   let users : (int, unit) Hashtbl.t array =
     Array.init (Noc.Mesh.num_links mesh) (fun _ -> Hashtbl.create 4)
   in
@@ -285,18 +327,20 @@ let solve ~finished mesh comms =
   loop ();
   (loads, states)
 
-let route mesh comms =
-  let loads, states = solve ~finished:(fun st -> st.single) mesh comms in
+let route ?fault mesh comms =
+  let loads, states =
+    solve ~finished:(fun st -> st.single) ?fault mesh comms
+  in
   Solution.make mesh
     (Array.to_list
        (Array.map
           (fun st -> Solution.route_single st.comm (extract_path loads st))
           states))
 
-let route_multipath ~s mesh comms =
+let route_multipath ~s ?fault mesh comms =
   if s < 1 then invalid_arg "Path_remover.route_multipath: s < 1";
   let finished st = st.single || path_count ~cap:(s + 1) st <= s in
-  let _loads, states = solve ~finished mesh comms in
+  let _loads, states = solve ~finished ?fault mesh comms in
   Solution.make mesh
     (Array.to_list
        (Array.map

@@ -18,15 +18,20 @@
     spelled out in the paper. *)
 
 val route :
+  ?fault:Noc.Fault.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->
   Solution.t
 (** The result may be infeasible. Power constants play no role: PR only
     balances loads, which is why the paper notes it "does not care about
-    static power". *)
+    static power". Under a fault, dead links start deleted (with exact path
+    cleaning applied); a communication whose rectangle is entirely cut
+    falls back to the full rectangle and is detoured by
+    {!Repair.solution}. *)
 
 val route_multipath :
   s:int ->
+  ?fault:Noc.Fault.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->
   Solution.t

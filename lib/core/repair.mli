@@ -1,0 +1,39 @@
+(** Fault repair of routing solutions.
+
+    Turns any solution into one that avoids the dead links of a fault
+    scenario. Every heuristic runs this as a final guard, so a
+    fault-oblivious policy (or a fault-aware one cornered into a dead end)
+    still produces usable routes. Degraded links are left alone — they
+    carry traffic, just at reduced capacity. *)
+
+exception No_route of Traffic.Communication.t
+(** The fault disconnects the communication's endpoints entirely. *)
+
+val solution : Noc.Fault.t -> Power.Model.t -> Solution.t -> Solution.t
+(** [solution fault model s] keeps every route of [s] whose links all
+    survive and re-routes the others, in solution order against running
+    loads: first trying the cheapest surviving Manhattan path of the
+    bounding rectangle (marginal capped penalized power), then the shortest
+    detour walk over the surviving links. A multi-path route with any dead
+    path collapses to a single repaired route. Deterministic; the identity
+    on trivial faults.
+    @raise No_route when a communication's endpoints are disconnected. *)
+
+val manhattan_usable :
+  Noc.Fault.t ->
+  Power.Model.t ->
+  Noc.Load.t ->
+  Traffic.Communication.t ->
+  Noc.Path.t option
+(** Cheapest Manhattan path of the communication's rectangle that avoids
+    every dead link, costed by marginal capped penalized power against the
+    given loads; [None] when the fault cuts all of them. *)
+
+val detour :
+  Noc.Fault.t ->
+  Noc.Mesh.t ->
+  src:Noc.Coord.t ->
+  snk:Noc.Coord.t ->
+  Noc.Walk.t option
+(** Shortest walk over the surviving links (BFS), Manhattan or not; [None]
+    when the endpoints are disconnected. *)

@@ -17,8 +17,18 @@ let build_path loads (comm : Traffic.Communication.t) =
       match Noc.Rect.out_links rect here with
       | [ l ] -> l.Noc.Mesh.dst
       | [ a; b ] ->
-          let la = Noc.Load.get_link loads a
-          and lb = Noc.Load.get_link loads b in
+          (* Planned effective occupancy (load + rate) / phi: a degraded
+             link looks proportionally fuller even while empty, a dead one
+             infinitely full. Without a fault the rate is a common offset,
+             so the comparison reduces to the original raw-load order. *)
+          let planned (l : Noc.Mesh.link) =
+            let phi = Noc.Load.factor_link loads l in
+            if phi <= 0. then infinity
+            else
+              (Noc.Load.get_link loads l +. comm.Traffic.Communication.rate)
+              /. phi
+          in
+          let la = planned a and lb = planned b in
           if la < lb then a.Noc.Mesh.dst
           else if lb < la then b.dst
           else if
@@ -31,8 +41,8 @@ let build_path loads (comm : Traffic.Communication.t) =
   done;
   Noc.Path.of_cores cores
 
-let route ?(order = Traffic.Communication.By_rate_desc) mesh comms =
-  let loads = Noc.Load.create mesh in
+let route ?(order = Traffic.Communication.By_rate_desc) ?fault mesh comms =
+  let loads = Noc.Load.create ?fault mesh in
   let routes =
     List.map
       (fun comm ->

@@ -7,8 +7,11 @@
 
 val route :
   ?order:Traffic.Communication.order ->
+  ?fault:Noc.Fault.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->
   Solution.t
 (** Default order: [By_rate_desc] (the paper's choice). The result may be
-    infeasible. *)
+    infeasible. Under a fault, link loads are compared on the effective
+    (capacity-rescaled) scale, so dead links are taken only when both
+    forward links are dead — {!Repair.solution} then reroutes. *)

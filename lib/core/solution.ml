@@ -1,6 +1,7 @@
 type route = {
   comm : Traffic.Communication.t;
   paths : (Noc.Path.t * float) list;
+  detours : (Noc.Walk.t * float) list;
 }
 
 type t = { mesh : Noc.Mesh.t; routes : route list }
@@ -15,9 +16,23 @@ let check_endpoints comm path =
       (Format.asprintf "Solution: path %a does not join %a" Noc.Path.pp path
          Traffic.Communication.pp comm)
 
+let check_walk_endpoints comm walk =
+  if
+    not
+      (Noc.Coord.equal (Noc.Walk.src walk) comm.Traffic.Communication.src
+      && Noc.Coord.equal (Noc.Walk.snk walk) comm.Traffic.Communication.snk)
+  then
+    invalid_arg
+      (Format.asprintf "Solution: walk %a does not join %a" Noc.Walk.pp walk
+         Traffic.Communication.pp comm)
+
 let route_single comm path =
   check_endpoints comm path;
-  { comm; paths = [ (path, comm.Traffic.Communication.rate) ] }
+  { comm; paths = [ (path, comm.Traffic.Communication.rate) ]; detours = [] }
+
+let route_detour comm walk =
+  check_walk_endpoints comm walk;
+  { comm; paths = []; detours = [ (walk, comm.Traffic.Communication.rate) ] }
 
 let route_multi comm paths =
   if paths = [] then invalid_arg "Solution.route_multi: no path";
@@ -32,21 +47,24 @@ let route_multi comm paths =
     invalid_arg
       (Printf.sprintf "Solution.route_multi: shares sum to %g, rate is %g"
          total rate);
-  { comm; paths }
+  { comm; paths; detours = [] }
+
+let check_cores mesh cores =
+  Array.iter
+    (fun c ->
+      if not (Noc.Mesh.in_mesh mesh c) then
+        invalid_arg
+          (Format.asprintf "Solution.make: core %a outside %a" Noc.Coord.pp c
+             Noc.Mesh.pp mesh))
+    cores
 
 let make mesh routes =
   List.iter
     (fun r ->
+      List.iter (fun (p, _) -> check_cores mesh (Noc.Path.cores p)) r.paths;
       List.iter
-        (fun (p, _) ->
-          Array.iter
-            (fun c ->
-              if not (Noc.Mesh.in_mesh mesh c) then
-                invalid_arg
-                  (Format.asprintf "Solution.make: core %a outside %a"
-                     Noc.Coord.pp c Noc.Mesh.pp mesh))
-            (Noc.Path.cores p))
-        r.paths)
+        (fun (w, _) -> check_cores mesh (Noc.Walk.cores w))
+        r.detours)
     routes;
   { mesh; routes }
 
@@ -54,16 +72,27 @@ let mesh t = t.mesh
 let routes t = t.routes
 
 let num_paths t =
-  List.fold_left (fun n r -> n + List.length r.paths) 0 t.routes
+  List.fold_left
+    (fun n r -> n + List.length r.paths + List.length r.detours)
+    0 t.routes
 
 let max_paths_per_comm t =
-  List.fold_left (fun m r -> max m (List.length r.paths)) 0 t.routes
+  List.fold_left
+    (fun m r -> max m (List.length r.paths + List.length r.detours))
+    0 t.routes
 
-let loads t =
-  let loads = Noc.Load.create t.mesh in
+let detour_hops t =
+  List.fold_left
+    (fun n r ->
+      List.fold_left (fun n (w, _) -> n + Noc.Walk.detour_hops w) n r.detours)
+    0 t.routes
+
+let loads ?fault t =
+  let loads = Noc.Load.create ?fault t.mesh in
   List.iter
     (fun r ->
-      List.iter (fun (p, share) -> Noc.Load.add_path loads p share) r.paths)
+      List.iter (fun (p, share) -> Noc.Load.add_path loads p share) r.paths;
+      List.iter (fun (w, share) -> Noc.Load.add_walk loads w share) r.detours)
     t.routes;
   loads
 
@@ -71,7 +100,7 @@ let path_of t comm =
   List.find_map
     (fun r ->
       if Traffic.Communication.equal r.comm comm then
-        match r.paths with [ (p, _) ] -> Some p | _ -> None
+        match (r.paths, r.detours) with [ (p, _) ], [] -> Some p | _ -> None
       else None)
     t.routes
 
@@ -83,6 +112,11 @@ let pp ppf t =
       List.iter
         (fun (p, share) ->
           Format.fprintf ppf "    %g via %a@," share Noc.Path.pp p)
-        r.paths)
+        r.paths;
+      List.iter
+        (fun (w, share) ->
+          Format.fprintf ppf "    %g via detour(+%d) %a@," share
+            (Noc.Walk.detour_hops w) Noc.Walk.pp w)
+        r.detours)
     t.routes;
   Format.fprintf ppf "@]"

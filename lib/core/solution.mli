@@ -3,13 +3,18 @@
     A solution assigns every communication one or more weighted Manhattan
     paths. Single-path rules (XY, 1-MP heuristics) use exactly one path per
     communication; [s]-MP rules split a communication into at most [s] parts
-    that share its endpoints. *)
+    that share its endpoints. Under a fault scenario a communication whose
+    every Manhattan path is cut may instead ride a non-Manhattan detour
+    walk; {!detour_hops} totals the extra hops paid. *)
 
 type route = private {
   comm : Traffic.Communication.t;
   paths : (Noc.Path.t * float) list;
-      (** Non-empty; each path carries the given rate share; the shares sum
-          to [comm.rate] and every path joins [comm.src] to [comm.snk]. *)
+      (** Each path carries the given rate share; every path joins
+          [comm.src] to [comm.snk]. *)
+  detours : (Noc.Walk.t * float) list;
+      (** Non-Manhattan fallback routes (normally empty); together with
+          [paths] the shares sum to [comm.rate]. *)
 }
 
 type t = private { mesh : Noc.Mesh.t; routes : route list }
@@ -17,6 +22,10 @@ type t = private { mesh : Noc.Mesh.t; routes : route list }
 val route_single : Traffic.Communication.t -> Noc.Path.t -> route
 (** @raise Invalid_argument if the path endpoints differ from the
     communication's. *)
+
+val route_detour : Traffic.Communication.t -> Noc.Walk.t -> route
+(** The whole rate on one (possibly non-Manhattan) walk.
+    @raise Invalid_argument on an endpoint mismatch. *)
 
 val route_multi :
   Traffic.Communication.t -> (Noc.Path.t * float) list -> route
@@ -31,16 +40,22 @@ val mesh : t -> Noc.Mesh.t
 val routes : t -> route list
 
 val num_paths : t -> int
-(** Total number of (communication, path) pairs. *)
+(** Total number of (communication, path-or-detour) pairs. *)
 
 val max_paths_per_comm : t -> int
 (** The [s] for which this is an s-MP solution (1 for single-path). *)
 
-val loads : t -> Noc.Load.t
-(** Link loads induced by the solution. *)
+val detour_hops : t -> int
+(** Total extra hops of all detour walks over the Manhattan distance;
+    0 for a pure-Manhattan solution. *)
+
+val loads : ?fault:Noc.Fault.t -> t -> Noc.Load.t
+(** Link loads induced by the solution. The fault scenario, when given, is
+    carried by the returned {!Noc.Load.t} so evaluation sees the degraded
+    capacities. *)
 
 val path_of : t -> Traffic.Communication.t -> Noc.Path.t option
 (** The unique path of a communication in a single-path solution; [None] if
-    the communication is absent or split. *)
+    the communication is absent, split, or detoured. *)
 
 val pp : Format.formatter -> t -> unit

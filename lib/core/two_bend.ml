@@ -2,9 +2,10 @@ let added_cost model loads rate path =
   Array.fold_left
     (fun acc l ->
       let before = Noc.Load.get_link loads l in
+      let factor = Noc.Load.factor_link loads l in
       acc
-      +. Power.Model.penalized_cost model (before +. rate)
-      -. Power.Model.penalized_cost model before)
+      +. Power.Model.penalized_cost_capped model ~factor (before +. rate)
+      -. Power.Model.penalized_cost_capped model ~factor before)
     0. (Noc.Path.links path)
 
 let best_candidate model loads (comm : Traffic.Communication.t) =
@@ -22,8 +23,9 @@ let best_candidate model loads (comm : Traffic.Communication.t) =
       in
       best
 
-let route ?(order = Traffic.Communication.By_rate_desc) mesh model comms =
-  let loads = Noc.Load.create mesh in
+let route ?(order = Traffic.Communication.By_rate_desc) ?fault mesh model
+    comms =
+  let loads = Noc.Load.create ?fault mesh in
   let routes =
     List.map
       (fun comm ->

@@ -7,8 +7,12 @@
 
 val route :
   ?order:Traffic.Communication.order ->
+  ?fault:Noc.Fault.t ->
   Noc.Mesh.t ->
   Power.Model.t ->
   Traffic.Communication.t list ->
   Solution.t
-(** Default order: [By_rate_desc]. The result may be infeasible. *)
+(** Default order: [By_rate_desc]. The result may be infeasible. Under a
+    fault the candidate costs are capped by the per-link factors, steering
+    the choice away from dead or degraded links whenever a healthy two-bend
+    candidate exists. *)

@@ -86,9 +86,10 @@ let move_delta model loads rate old_p new_p =
       if Float.abs d < 1e-12 then acc
       else
         let before = Noc.Load.get loads id in
+        let factor = Noc.Load.factor loads id in
         acc
-        +. Power.Model.penalized_cost model (before +. d)
-        -. Power.Model.penalized_cost model before)
+        +. Power.Model.penalized_cost_capped model ~factor (before +. d)
+        -. Power.Model.penalized_cost_capped model ~factor before)
     changes 0.
 
 (* Local-search core shared by [route] (XY start) and [improve] (arbitrary
@@ -141,8 +142,8 @@ let improve_in_place mesh model ~max_moves comms paths loads =
   in
   improve ()
 
-let route ?(order = Traffic.Communication.By_rate_desc) ?max_moves mesh model
-    comms =
+let route ?(order = Traffic.Communication.By_rate_desc) ?max_moves ?fault
+    mesh model comms =
   let comms = Array.of_list (Traffic.Communication.sort order comms) in
   let nc = Array.length comms in
   let max_moves =
@@ -155,7 +156,7 @@ let route ?(order = Traffic.Communication.By_rate_desc) ?max_moves mesh model
       (fun (c : Traffic.Communication.t) -> Noc.Path.xy ~src:c.src ~snk:c.snk)
       comms
   in
-  let loads = Noc.Load.create mesh in
+  let loads = Noc.Load.create ?fault mesh in
   Array.iteri
     (fun i p -> Noc.Load.add_path loads p comms.(i).Traffic.Communication.rate)
     paths;
@@ -163,7 +164,7 @@ let route ?(order = Traffic.Communication.By_rate_desc) ?max_moves mesh model
   Solution.make mesh
     (Array.to_list (Array.map2 Solution.route_single comms paths))
 
-let improve ?max_moves model solution =
+let improve ?max_moves ?fault model solution =
   let mesh = Solution.mesh solution in
   let routes = Solution.routes solution in
   let comms =
@@ -186,7 +187,7 @@ let improve ?max_moves model solution =
     | Some m -> m
     | None -> nc * Noc.Mesh.rows mesh * Noc.Mesh.cols mesh
   in
-  let loads = Solution.loads solution in
+  let loads = Solution.loads ?fault solution in
   improve_in_place mesh model ~max_moves comms paths loads;
   Solution.make mesh
     (Array.to_list (Array.map2 Solution.route_single comms paths))

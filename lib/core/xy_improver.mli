@@ -26,6 +26,7 @@ val divert :
 val route :
   ?order:Traffic.Communication.order ->
   ?max_moves:int ->
+  ?fault:Noc.Fault.t ->
   Noc.Mesh.t ->
   Power.Model.t ->
   Traffic.Communication.t list ->
@@ -36,7 +37,8 @@ val route :
     initial tie-breaks. *)
 
 val improve :
-  ?max_moves:int -> Power.Model.t -> Solution.t -> Solution.t
+  ?max_moves:int -> ?fault:Noc.Fault.t -> Power.Model.t -> Solution.t ->
+  Solution.t
 (** The same local search started from an arbitrary single-path solution
     instead of the XY routing — a refinement pass that can be applied on
     top of any heuristic's output (never increases the penalized power).

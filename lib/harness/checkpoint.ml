@@ -1,0 +1,167 @@
+type key = { figure_id : string; seed : int; trials : int }
+
+type cell = {
+  name : string;
+  failure_ratio : float;
+  error_ratio : float;
+  norm_inv_power : float;
+  norm_stderr : float;
+  mean_power : float option;
+  mean_detour_hops : float;
+  error_example : string option;
+}
+
+let magic = "row"
+let version = "v1"
+
+(* Floats travel as "%h" hex literals: [float_of_string] round-trips them
+   bit-exactly, which is what lets a resumed campaign reproduce the very
+   rows a fresh run would compute. *)
+let float_field f = Printf.sprintf "%h" f
+let opt_float_field = function None -> "-" | Some f -> float_field f
+
+(* [String.escaped] leaves no literal tab or newline in the payload, and
+   the "=" prefix keeps an escaped message that happens to read "-" from
+   colliding with the absent marker. *)
+let msg_field = function None -> "-" | Some m -> "=" ^ String.escaped m
+
+let line key ~x cells =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "\t"
+       [
+         magic;
+         version;
+         key.figure_id;
+         string_of_int key.seed;
+         string_of_int key.trials;
+         float_field x;
+         string_of_int (List.length cells);
+       ]);
+  List.iter
+    (fun c ->
+      Buffer.add_char buf '\t';
+      Buffer.add_string buf
+        (String.concat "\t"
+           [
+             c.name;
+             float_field c.failure_ratio;
+             float_field c.error_ratio;
+             float_field c.norm_inv_power;
+             float_field c.norm_stderr;
+             opt_float_field c.mean_power;
+             float_field c.mean_detour_hops;
+             msg_field c.error_example;
+           ]))
+    cells;
+  Buffer.contents buf
+
+let append ~path key ~x cells =
+  (* A crash can leave a torn final line without its newline; gluing the
+     next row onto it would corrupt that row as well. Terminate the torn
+     line first so only the torn row is lost. *)
+  let torn =
+    Sys.file_exists path
+    &&
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let torn =
+      n > 0
+      && (seek_in ic (n - 1);
+          input_char ic <> '\n')
+    in
+    close_in ic;
+    torn
+  in
+  let oc = open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 path in
+  if torn then output_char oc '\n';
+  output_string oc (line key ~x cells);
+  output_char oc '\n';
+  flush oc;
+  close_out oc
+
+let parse_float = float_of_string_opt
+
+let parse_opt_float s =
+  if s = "-" then Some None else Option.map Option.some (float_of_string_opt s)
+
+let parse_msg s =
+  if s = "-" then Some None
+  else if String.length s >= 1 && s.[0] = '=' then
+    match Scanf.unescaped (String.sub s 1 (String.length s - 1)) with
+    | m -> Some (Some m)
+    | exception _ -> None
+  else None
+
+let parse_cells n fields =
+  let rec go acc k = function
+    | [] when k = 0 -> Some (List.rev acc)
+    | name :: fail :: err :: norm :: stderr :: power :: detour :: msg :: tl
+      when k > 0 -> (
+        match
+          ( parse_float fail,
+            parse_float err,
+            parse_float norm,
+            parse_float stderr,
+            parse_opt_float power,
+            parse_float detour,
+            parse_msg msg )
+        with
+        | ( Some failure_ratio,
+            Some error_ratio,
+            Some norm_inv_power,
+            Some norm_stderr,
+            Some mean_power,
+            Some mean_detour_hops,
+            Some error_example ) ->
+            go
+              ({
+                 name;
+                 failure_ratio;
+                 error_ratio;
+                 norm_inv_power;
+                 norm_stderr;
+                 mean_power;
+                 mean_detour_hops;
+                 error_example;
+               }
+              :: acc)
+              (k - 1) tl
+        | _ -> None)
+    | _ -> None
+  in
+  go [] n fields
+
+let parse_line key l =
+  match String.split_on_char '\t' l with
+  | m :: v :: fid :: seed :: trials :: x :: ncells :: rest
+    when m = magic && v = version ->
+      if
+        fid <> key.figure_id
+        || int_of_string_opt seed <> Some key.seed
+        || int_of_string_opt trials <> Some key.trials
+      then None
+      else (
+        match (parse_float x, int_of_string_opt ncells) with
+        | Some x, Some n when n >= 0 -> (
+            match parse_cells n rest with
+            | Some cells -> Some (x, cells)
+            | None -> None)
+        | _ -> None)
+  | _ -> None
+
+let load ~path key =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rows = ref [] in
+    (try
+       while true do
+         match parse_line key (input_line ic) with
+         | Some row -> rows := row :: !rows
+         | None -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !rows
+  end

@@ -1,0 +1,38 @@
+(** Crash-safe campaign checkpoints.
+
+    A campaign appends one self-describing TSV line per completed figure row
+    to a sidecar file; a re-run loads the sidecar and skips the rows it
+    already holds. Floats are serialized as ["%h"] hex literals, so a
+    resumed row is bit-identical to the row a fresh run would compute —
+    determinism survives the crash.
+
+    The format is deliberately tolerant: a torn trailing line (the process
+    died mid-write), a corrupted line, or a line written by a different
+    campaign (other figure, seed, or trial count) is silently skipped on
+    load, never fatal. This module knows nothing about {!Runner} — the
+    runner converts its stats to {!cell}s and back. *)
+
+type key = { figure_id : string; seed : int; trials : int }
+(** Identity of a campaign. Rows are only reused when all three match: a
+    checkpoint written at 50 trials must not satisfy a 150-trial run. *)
+
+type cell = {
+  name : string;  (** Heuristic name, ["BEST"] last. *)
+  failure_ratio : float;
+  error_ratio : float;
+  norm_inv_power : float;
+  norm_stderr : float;
+  mean_power : float option;
+  mean_detour_hops : float;
+  error_example : string option;
+}
+(** Serialized form of one [Runner.stats] cell. *)
+
+val append : path:string -> key -> x:float -> cell list -> unit
+(** Append one completed row and flush. Creates the file when missing; the
+    enclosing directory must exist. *)
+
+val load : path:string -> key -> (float * cell list) list
+(** All well-formed rows of [path] matching [key], in file order (a later
+    duplicate of some [x] follows the earlier one). A missing file is an
+    empty checkpoint. *)

@@ -4,6 +4,7 @@ type t = {
   xlabel : string;
   xs : float list;
   generate : Traffic.Rng.t -> float -> Traffic.Communication.t list;
+  scenario : (Traffic.Rng.t -> float -> Noc.Fault.t) option;
 }
 
 let mesh = Noc.Mesh.square 8
@@ -17,6 +18,7 @@ let count_sweep id title weight xs =
     generate =
       (fun rng x ->
         Traffic.Workload.uniform rng mesh ~n:(int_of_float x) ~weight);
+    scenario = None;
   }
 
 let fig7a =
@@ -40,6 +42,7 @@ let weight_sweep id title ~n xs =
     generate =
       (fun rng x ->
         Traffic.Workload.uniform rng mesh ~n ~weight:(Traffic.Workload.around x));
+    scenario = None;
   }
 
 let fig8a =
@@ -64,6 +67,7 @@ let length_sweep id title ~n weight =
       (fun rng x ->
         Traffic.Workload.with_length rng mesh ~n ~weight
           ~target:(int_of_float x));
+    scenario = None;
   }
 
 let fig9a =
@@ -78,7 +82,31 @@ let fig9c =
   length_sweep "fig9c" "Fig. 9(c): length sweep, 12 big comms" ~n:12
     (Traffic.Workload.weight ~lo:2700. ~hi:3300.)
 
-let all = [ fig7a; fig7b; fig7c; fig8a; fig8b; fig8c; fig9a; fig9b; fig9c ]
+(* Fault sweep (beyond the paper): a fixed workload while the x axis kills
+   ever more links. Scenario figures get a trial rng keyed without x (see
+   {!Runner.run}), and the workload is drawn from it before the fault, so
+   trial [t] carries the same 32 communications at every x and — because
+   {!Noc.Fault.random_dead} samples kills sequentially — each row's dead
+   set extends the previous row's. The sweep is paired: only the damage
+   level varies along x. *)
+let figf =
+  {
+    id = "figf";
+    title = "Fig. F: fault sweep, 32 small comms vs killed links";
+    xlabel = "killed links";
+    xs = [ 0.; 2.; 4.; 6.; 8.; 10.; 12. ];
+    generate =
+      (fun rng _ ->
+        Traffic.Workload.uniform rng mesh ~n:32 ~weight:Traffic.Workload.small);
+    scenario =
+      Some
+        (fun rng x ->
+          Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng)
+            ~kills:(int_of_float x) mesh);
+  }
+
+let all =
+  [ fig7a; fig7b; fig7c; fig8a; fig8b; fig8c; fig9a; fig9b; fig9c; figf ]
 
 let find id =
   let id = String.lowercase_ascii id in

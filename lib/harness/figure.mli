@@ -2,7 +2,8 @@
 
     Each figure of Section 6 sweeps one parameter on the x-axis and draws a
     fresh random communication set per trial; this module encodes the nine
-    sub-figures (7a-c, 8a-c, 9a-c) on the paper's 8x8 CMP. *)
+    sub-figures (7a-c, 8a-c, 9a-c) on the paper's 8x8 CMP, plus a fault
+    sweep ({!figf}) that goes beyond the paper. *)
 
 type t = {
   id : string;  (** e.g. ["fig7a"]. *)
@@ -11,6 +12,10 @@ type t = {
   xs : float list;  (** Swept x values. *)
   generate : Traffic.Rng.t -> float -> Traffic.Communication.t list;
       (** Workload generator for a given x. *)
+  scenario : (Traffic.Rng.t -> float -> Noc.Fault.t) option;
+      (** Fault scenario for a given x, drawn from the same per-trial rng
+          {e after} the workload — so the communications of a trial do not
+          depend on the damage. [None] means a healthy mesh. *)
 }
 
 val mesh : Noc.Mesh.t
@@ -45,8 +50,14 @@ val fig9b : t
 val fig9c : t
 (** Same: 12 big communications U\[2700, 3300\]. *)
 
+val figf : t
+(** Fault sweep: 40 mixed communications on the 8x8 CMP while the x axis
+    kills 0..12 random links (connectivity-preserving,
+    {!Noc.Fault.random_dead}). Plots how the failure ratio and the power
+    overhead of detours grow with the damage. *)
+
 val all : t list
-(** The nine figures in paper order. *)
+(** The nine paper figures in paper order, then {!figf}. *)
 
 val find : string -> t option
 (** Lookup by [id] (case-insensitive). *)

@@ -47,3 +47,6 @@ let map ?jobs n f =
       | None -> ());
       Array.map (function Some v -> v | None -> assert false) results
     end
+
+let map_result ?jobs n f =
+  map ?jobs n (fun i -> try Ok (f i) with e -> Error (Printexc.to_string e))

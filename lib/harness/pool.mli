@@ -20,3 +20,9 @@ val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
 
     If some [f i] raises, the first exception is re-raised in the caller
     after every worker has stopped; remaining chunks are abandoned. *)
+
+val map_result : ?jobs:int -> int -> (int -> 'a) -> ('a, string) result array
+(** Like {!map}, but each index's exception is caught on its worker and
+    returned as [Error (Printexc.to_string e)] in that index's slot, so one
+    bad index cannot abandon the rest of the campaign. The result array is
+    index-ordered like {!map}'s. *)

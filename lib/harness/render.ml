@@ -23,7 +23,8 @@ let csv (r : Runner.result) =
   List.iter
     (fun name ->
       Buffer.add_string buf
-        (Printf.sprintf ",%s_norm,%s_stderr,%s_fail" name name name))
+        (Printf.sprintf ",%s_norm,%s_stderr,%s_fail,%s_err,%s_detour" name name
+           name name name))
     names;
   Buffer.add_char buf '\n';
   List.iter
@@ -32,8 +33,8 @@ let csv (r : Runner.result) =
       List.iter
         (fun (_, (s : Runner.stats)) ->
           Buffer.add_string buf
-            (Printf.sprintf ",%.6f,%.6f,%.6f" s.norm_inv_power s.norm_stderr
-               s.failure_ratio))
+            (Printf.sprintf ",%.6f,%.6f,%.6f,%.6f,%.6f" s.norm_inv_power
+               s.norm_stderr s.failure_ratio s.error_ratio s.mean_detour_hops))
         row.cells;
       Buffer.add_char buf '\n')
     r.rows;

@@ -1,8 +1,11 @@
 type stats = {
   failure_ratio : float;
+  error_ratio : float;
   norm_inv_power : float;
   norm_stderr : float;
   mean_power : float option;
+  mean_detour_hops : float;
+  error_example : string option;
 }
 
 type row = { x : float; cells : (string * stats) list }
@@ -16,8 +19,17 @@ type result = {
 
 let default_trials () =
   match Sys.getenv_opt "MANROUTE_TRIALS" with
-  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 150)
   | None -> 150
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf
+            "manroute: warning: ignoring invalid MANROUTE_TRIALS=%S (want a \
+             positive integer); using 150 trials\n\
+             %!"
+            s;
+          150)
 
 (* CLOCK_MONOTONIC, in seconds. [Sys.time] is process CPU time: summed
    over all domains it over-counts wall time by the worker count. *)
@@ -30,123 +42,255 @@ let trial_rng ~figure_id ~x ~seed ~trial =
 (* What one trial contributes to one cell. Immutable: trials are evaluated
    on worker domains and folded afterwards in trial order, so the floating
    sums associate identically for every job count. *)
-type contribution = Fail | Feasible of { norm : float; power : float }
+type contribution =
+  | Fail
+  | Errored of string
+  | Feasible of { norm : float; power : float; detour : int }
 
 type trial = {
   contribs : (string * contribution) list;
-  obs : Summary.obs;
+  obs : Summary.obs option;
+      (** [None] when anything raised: a trial with a missing or partial
+          outcome set would skew the Section 6.4 aggregates. *)
 }
 
+let cell_names heuristics =
+  List.map (fun (h : Routing.Heuristic.t) -> h.Routing.Heuristic.name)
+    heuristics
+  @ [ "BEST" ]
+
+let errored_trial ~names msg =
+  { contribs = List.map (fun name -> (name, Errored msg)) names; obs = None }
+
 let run_trial ~model ~heuristics ~figure ~x ~seed t =
-  let rng = trial_rng ~figure_id:figure.Figure.id ~x ~seed ~trial:t in
-  let comms = figure.Figure.generate rng x in
-  let times = ref [] in
-  let outcomes =
-    List.map
-      (fun (h : Routing.Heuristic.t) ->
-        let t0 = now_s () in
-        let solution = h.run model Figure.mesh comms in
-        times := (h.name, now_s () -. t0) :: !times;
-        {
-          Routing.Best.heuristic = h;
-          solution;
-          report = Routing.Evaluate.solution model solution;
-        })
-      heuristics
-  in
-  let best = Routing.Best.best_of outcomes in
-  let best_power =
-    match best with
-    | Some o -> Some o.report.Routing.Evaluate.total_power
-    | None -> None
-  in
-  let contribution (report : Routing.Evaluate.report option) =
-    match (report, best_power) with
-    | Some r, Some pb when r.feasible ->
-        Feasible { norm = pb /. r.total_power; power = r.total_power }
-    | _ -> Fail
-  in
-  let contribs =
-    List.map
-      (fun (o : Routing.Best.outcome) ->
-        (o.heuristic.Routing.Heuristic.name, contribution (Some o.report)))
-      outcomes
-    @ [
-        ( "BEST",
-          contribution
-            (Option.map (fun (o : Routing.Best.outcome) -> o.report) best) );
-      ]
-  in
-  { contribs; obs = Summary.observation ~outcomes ~best ~times:!times }
+  (* Fault-sweep figures pair their trials across x: the rng is keyed by
+     the trial alone, so trial [t] draws the same communications at every
+     x, and scenario generators that sample kills sequentially (e.g.
+     {!Noc.Fault.random_dead}) draw nested fault sets — row [x+dx] damages
+     a superset of row [x]'s links. The sweep is then monotone by
+     construction instead of up to Monte-Carlo noise. *)
+  let rng_x = if figure.Figure.scenario = None then x else 0. in
+  let rng = trial_rng ~figure_id:figure.Figure.id ~x:rng_x ~seed ~trial:t in
+  (* The workload comes off the rng before the fault, so a trial's
+     communications are the same whatever the scenario does with x. *)
+  match
+    try
+      let comms = figure.Figure.generate rng x in
+      let fault = Option.map (fun f -> f rng x) figure.Figure.scenario in
+      Ok (comms, fault)
+    with e -> Error (Printexc.to_string e)
+  with
+  | Error msg -> errored_trial ~names:(cell_names heuristics) msg
+  | Ok (comms, fault) ->
+      let times = ref [] in
+      let attempts =
+        List.map
+          (fun (h : Routing.Heuristic.t) ->
+            let t0 = now_s () in
+            match
+              let solution = h.run ?fault model Figure.mesh comms in
+              {
+                Routing.Best.heuristic = h;
+                solution;
+                report = Routing.Evaluate.solution ?fault model solution;
+              }
+            with
+            | outcome ->
+                times := (h.name, now_s () -. t0) :: !times;
+                (h.name, Ok outcome)
+            | exception e -> (h.name, Error (Printexc.to_string e)))
+          heuristics
+      in
+      let outcomes =
+        List.filter_map (fun (_, r) -> Result.to_option r) attempts
+      in
+      let best = Routing.Best.best_of outcomes in
+      let best_power =
+        match best with
+        | Some o -> Some o.report.Routing.Evaluate.total_power
+        | None -> None
+      in
+      let contribution (report : Routing.Evaluate.report option) =
+        match (report, best_power) with
+        | Some r, Some pb when r.feasible ->
+            Feasible
+              {
+                norm = pb /. r.total_power;
+                power = r.total_power;
+                detour = r.detour_hops;
+              }
+        | _ -> Fail
+      in
+      let contribs =
+        List.map
+          (fun (name, r) ->
+            match r with
+            | Ok (o : Routing.Best.outcome) ->
+                (name, contribution (Some o.report))
+            | Error msg -> (name, Errored msg))
+          attempts
+        @ [
+            ( "BEST",
+              contribution
+                (Option.map (fun (o : Routing.Best.outcome) -> o.report) best)
+            );
+          ]
+      in
+      let obs =
+        if List.exists (fun (_, r) -> Result.is_error r) attempts then None
+        else Some (Summary.observation ~outcomes ~best ~times:!times)
+      in
+      { contribs; obs }
 
 type cell_acc = {
   fails : int;
+  errors : int;
+  error_example : string option;
   norm_sum : float;
   norm_sumsq : float;
   power_sum : float;
   power_n : int;
+  detour_sum : int;
 }
 
 let cell_zero =
-  { fails = 0; norm_sum = 0.; norm_sumsq = 0.; power_sum = 0.; power_n = 0 }
+  {
+    fails = 0;
+    errors = 0;
+    error_example = None;
+    norm_sum = 0.;
+    norm_sumsq = 0.;
+    power_sum = 0.;
+    power_n = 0;
+    detour_sum = 0;
+  }
 
 let cell_add c = function
   | Fail -> { c with fails = c.fails + 1 }
-  | Feasible { norm = v; power } ->
+  | Errored msg ->
+      {
+        c with
+        fails = c.fails + 1;
+        errors = c.errors + 1;
+        error_example =
+          (match c.error_example with Some _ as e -> e | None -> Some msg);
+      }
+  | Feasible { norm = v; power; detour } ->
       {
         c with
         norm_sum = c.norm_sum +. v;
         norm_sumsq = c.norm_sumsq +. (v *. v);
         power_sum = c.power_sum +. power;
         power_n = c.power_n + 1;
+        detour_sum = c.detour_sum + detour;
       }
 
+let stats_of_cell ~trials c =
+  let n = float_of_int trials in
+  let mean = c.norm_sum /. n in
+  let variance = Float.max 0. ((c.norm_sumsq /. n) -. (mean *. mean)) in
+  {
+    failure_ratio = float_of_int c.fails /. n;
+    error_ratio = float_of_int c.errors /. n;
+    norm_inv_power = mean;
+    norm_stderr = sqrt (variance /. n);
+    mean_power =
+      (if c.power_n = 0 then None else Some (c.power_sum /. float_of_int c.power_n));
+    mean_detour_hops =
+      (if c.power_n = 0 then 0.
+       else float_of_int c.detour_sum /. float_of_int c.power_n);
+    error_example = c.error_example;
+  }
+
+let stats_of_checkpoint (c : Checkpoint.cell) =
+  {
+    failure_ratio = c.failure_ratio;
+    error_ratio = c.error_ratio;
+    norm_inv_power = c.norm_inv_power;
+    norm_stderr = c.norm_stderr;
+    mean_power = c.mean_power;
+    mean_detour_hops = c.mean_detour_hops;
+    error_example = c.error_example;
+  }
+
+let checkpoint_of_stats (name, s) =
+  {
+    Checkpoint.name;
+    failure_ratio = s.failure_ratio;
+    error_ratio = s.error_ratio;
+    norm_inv_power = s.norm_inv_power;
+    norm_stderr = s.norm_stderr;
+    mean_power = s.mean_power;
+    mean_detour_hops = s.mean_detour_hops;
+    error_example = s.error_example;
+  }
+
 let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
-    ?(heuristics = Routing.Heuristic.all) ?jobs ?summary figure =
+    ?(heuristics = Routing.Heuristic.all) ?jobs ?summary ?checkpoint figure =
   let trials = match trials with Some t -> t | None -> default_trials () in
-  let names =
-    List.map (fun (h : Routing.Heuristic.t) -> h.name) heuristics @ [ "BEST" ]
+  let names = cell_names heuristics in
+  let key =
+    { Checkpoint.figure_id = figure.Figure.id; seed; trials }
+  in
+  let resumed =
+    match checkpoint with
+    | None -> []
+    (* Reversed so that, should a row ever appear twice, the most recently
+       appended one wins the [assoc] lookup. *)
+    | Some path -> List.rev (Checkpoint.load ~path key)
   in
   let rows =
     List.map
       (fun x ->
-        let results =
-          Pool.map ?jobs trials (run_trial ~model ~heuristics ~figure ~x ~seed)
-        in
-        let cells =
-          Array.fold_left
-            (fun cells trial ->
-              List.map2
-                (fun (name, c) (name', contrib) ->
-                  assert (name = name');
-                  (name, cell_add c contrib))
-                cells trial.contribs)
-            (List.map (fun name -> (name, cell_zero)) names)
-            results
-        in
-        (match summary with
-        | Some acc -> Array.iter (fun trial -> Summary.add acc trial.obs) results
-        | None -> ());
-        let cells =
-          List.map
-            (fun (name, c) ->
-              ( name,
-                let n = float_of_int trials in
-                let mean = c.norm_sum /. n in
-                let variance =
-                  Float.max 0. ((c.norm_sumsq /. n) -. (mean *. mean))
-                in
-                {
-                  failure_ratio = float_of_int c.fails /. n;
-                  norm_inv_power = mean;
-                  norm_stderr = sqrt (variance /. n);
-                  mean_power =
-                    (if c.power_n = 0 then None
-                     else Some (c.power_sum /. float_of_int c.power_n));
-                } ))
-            cells
-        in
-        { x; cells })
+        match List.assoc_opt x resumed with
+        | Some cells ->
+            {
+              x;
+              cells =
+                List.map
+                  (fun (c : Checkpoint.cell) -> (c.name, stats_of_checkpoint c))
+                  cells;
+            }
+        | None ->
+            let results =
+              Pool.map_result ?jobs trials
+                (run_trial ~model ~heuristics ~figure ~x ~seed)
+            in
+            let cells =
+              Array.fold_left
+                (fun cells trial ->
+                  let contribs =
+                    match trial with
+                    | Ok t -> t.contribs
+                    | Error msg -> List.map (fun n -> (n, Errored msg)) names
+                  in
+                  List.map2
+                    (fun (name, c) (name', contrib) ->
+                      assert (name = name');
+                      (name, cell_add c contrib))
+                    cells contribs)
+                (List.map (fun name -> (name, cell_zero)) names)
+                results
+            in
+            (match summary with
+            | Some acc ->
+                Array.iter
+                  (function
+                    | Ok { obs = Some obs; _ } -> Summary.add acc obs
+                    | Ok { obs = None; _ } | Error _ -> ())
+                  results
+            | None -> ());
+            let cells =
+              List.map
+                (fun (name, c) -> (name, stats_of_cell ~trials c))
+                cells
+            in
+            (match checkpoint with
+            | Some path ->
+                Checkpoint.append ~path key ~x
+                  (List.map checkpoint_of_stats cells)
+            | None -> ());
+            { x; cells })
       figure.Figure.xs
   in
   { figure; trials; seed; rows }

@@ -3,10 +3,21 @@
     For each x value, [trials] independent communication sets are drawn and
     every heuristic (plus the virtual BEST) is scored the way the paper
     plots it: the mean of the heuristic's inverse power normalized by the
-    inverse power of BEST (0 on failure), and the failure ratio. *)
+    inverse power of BEST (0 on failure), and the failure ratio.
+
+    The campaign is crash-safe in both directions: a trial that raises —
+    a heuristic bug, a disconnected fault scenario, anything — is recorded
+    as a structured error in its cells instead of aborting the sweep, and
+    an optional sidecar checkpoint lets a killed campaign resume exactly
+    where it stopped with bit-identical rows. *)
 
 type stats = {
   failure_ratio : float;
+      (** Fraction of trials without a feasible solution for this cell —
+          infeasible and errored trials both count. *)
+  error_ratio : float;
+      (** Fraction of trials where this cell's heuristic raised (or the
+          whole trial failed before routing). Always [<= failure_ratio]. *)
   norm_inv_power : float;
       (** Mean over trials of [P_BEST / P_h] (0 when [h] fails); equals 1
           minus failure ratio for BEST itself. *)
@@ -14,6 +25,11 @@ type stats = {
       (** Standard error of that mean (Monte-Carlo noise estimate). *)
   mean_power : float option;
       (** Mean power over the successful trials, when any. *)
+  mean_detour_hops : float;
+      (** Mean non-Manhattan detour hops per successful trial (0 on a
+          healthy mesh). *)
+  error_example : string option;
+      (** The first error message observed, when [error_ratio > 0]. *)
 }
 
 type row = { x : float; cells : (string * stats) list }
@@ -27,7 +43,9 @@ type result = {
 }
 
 val default_trials : unit -> int
-(** [MANROUTE_TRIALS] from the environment, else 150. *)
+(** [MANROUTE_TRIALS] from the environment, else 150. A set-but-invalid
+    value falls back to 150 with a warning on stderr rather than
+    silently. *)
 
 val trial_rng : figure_id:string -> x:float -> seed:int -> trial:int -> Traffic.Rng.t
 (** The generator driving trial [trial] of point [x]: derived with
@@ -42,14 +60,36 @@ val run :
   ?heuristics:Routing.Heuristic.t list ->
   ?jobs:int ->
   ?summary:Summary.acc ->
+  ?checkpoint:string ->
   Figure.t ->
   result
 (** Defaults: {!default_trials} trials, seed 1, the paper's
     {!Power.Model.kim_horowitz} model, all six heuristics, {!Pool.default_jobs}
-    worker domains. When [summary] is given, every instance is also folded
-    into it, in trial order. For a fixed [seed], [rows] — and every
-    [summary] counter except the wall-clock runtimes — are bit-identical
-    for every value of [jobs]: trials are seeded independently via
-    {!trial_rng} and reduced in trial order. Per-heuristic runtimes are
-    monotonic wall-clock seconds measured on the worker that ran the
-    trial. *)
+    worker domains. When [summary] is given, every error-free instance is
+    also folded into it, in trial order. For a fixed [seed], [rows] — and
+    every [summary] counter except the wall-clock runtimes — are
+    bit-identical for every value of [jobs]: trials are seeded
+    independently via {!trial_rng} and reduced in trial order.
+    Per-heuristic runtimes are monotonic wall-clock seconds measured on
+    the worker that ran the trial.
+
+    When the figure has a {!Figure.t.scenario}, each trial's fault is drawn
+    from the trial rng right after its workload and passed to every
+    heuristic and evaluation. Scenario figures are additionally {e paired}
+    across the sweep: their trial rng is keyed as if [x] were [0.], so
+    trial [t] draws the same workload at every x and sequential fault
+    generators ({!Noc.Fault.random_dead}) produce nested dead sets — the
+    damage level is the only thing that varies along the x axis.
+
+    Exceptions never abort the campaign: a raising heuristic yields an
+    [Errored] contribution for its own cell only (and excludes the trial
+    from [summary]); a failure before routing — workload or scenario
+    generation — errors every cell of the trial. Either way the surviving
+    trials keep their bit-identical statistics and errors surface in
+    {!stats.error_ratio} / {!stats.error_example}.
+
+    [checkpoint] names a sidecar file (its directory must exist): each
+    completed row is appended immediately, and rows already present for
+    this exact (figure, seed, trials) key are reused instead of recomputed
+    — bit-identical to a fresh run thanks to hex-float round-tripping.
+    Resumed rows are not folded into [summary]. *)

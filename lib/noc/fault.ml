@@ -1,0 +1,164 @@
+type t = { mesh : Mesh.t; factor : float array }
+
+let healthy mesh = { mesh; factor = Array.make (Mesh.num_links mesh) 1. }
+let mesh t = t.mesh
+let factor t id = t.factor.(id)
+let factor_link t l = t.factor.(Mesh.link_id t.mesh l)
+let usable_id t id = t.factor.(id) > 0.
+let usable t l = usable_id t (Mesh.link_id t.mesh l)
+let is_trivial t = Array.for_all (fun f -> f = 1.) t.factor
+
+let reverse (l : Mesh.link) = Mesh.link ~src:l.Mesh.dst ~dst:l.Mesh.src
+
+(* Physical faults hit the wire, not a direction: every builder below acts
+   on both directed links of the edge. *)
+let set_edge t l f =
+  let factor = Array.copy t.factor in
+  factor.(Mesh.link_id t.mesh l) <- f;
+  factor.(Mesh.link_id t.mesh (reverse l)) <- f;
+  { t with factor }
+
+let kill_link t l = set_edge t l 0.
+
+let degrade_link t l f =
+  if f < 0. || f > 1. then
+    invalid_arg (Printf.sprintf "Fault.degrade_link: factor %g" f);
+  set_edge t l f
+
+let incident_links t core =
+  List.concat_map
+    (fun nb -> [ Mesh.link ~src:core ~dst:nb; Mesh.link ~src:nb ~dst:core ])
+    (Mesh.neighbors t.mesh core)
+
+let kill_router t core =
+  if not (Mesh.in_mesh t.mesh core) then
+    invalid_arg (Format.asprintf "Fault.kill_router: %a" Coord.pp core);
+  let factor = Array.copy t.factor in
+  List.iter (fun l -> factor.(Mesh.link_id t.mesh l) <- 0.) (incident_links t core);
+  { t with factor }
+
+let kill_region t ~a ~b =
+  let lo_r = min a.Coord.row b.Coord.row and hi_r = max a.Coord.row b.Coord.row in
+  let lo_c = min a.Coord.col b.Coord.col and hi_c = max a.Coord.col b.Coord.col in
+  let inside (c : Coord.t) =
+    c.row >= lo_r && c.row <= hi_r && c.col >= lo_c && c.col <= hi_c
+  in
+  Array.fold_left
+    (fun t core -> if inside core then kill_router t core else t)
+    t (Mesh.all_cores t.mesh)
+
+let dead_links t =
+  let out = ref [] in
+  Mesh.iter_links t.mesh (fun id l -> if t.factor.(id) = 0. then out := l :: !out);
+  List.rev !out
+
+let degraded_links t =
+  let out = ref [] in
+  Mesh.iter_links t.mesh (fun id l ->
+      if t.factor.(id) > 0. && t.factor.(id) < 1. then
+        out := (l, t.factor.(id)) :: !out);
+  List.rev !out
+
+(* Dead undirected edges: both directions at factor 0 count once. *)
+let num_dead t =
+  let n = ref 0 in
+  Mesh.iter_links t.mesh (fun id l ->
+      (* Count each edge at its canonical (East/South) direction. *)
+      match Mesh.step_of_link l with
+      | Mesh.East | Mesh.South -> if t.factor.(id) = 0. then incr n
+      | Mesh.West | Mesh.North -> ());
+  !n
+
+let path_usable t path =
+  Array.for_all (fun l -> usable t l) (Path.links path)
+
+let walk_usable t walk =
+  Array.for_all (fun l -> usable t l) (Walk.links walk)
+
+(* Connectivity of the surviving undirected graph (edges are killed in both
+   directions, so one direction suffices). *)
+let connected t =
+  let rows = Mesh.rows t.mesh and cols = Mesh.cols t.mesh in
+  let idx (c : Coord.t) = ((c.row - 1) * cols) + (c.col - 1) in
+  let seen = Array.make (rows * cols) false in
+  let start = Coord.make ~row:1 ~col:1 in
+  let stack = ref [ start ] in
+  seen.(idx start) <- true;
+  let count = ref 1 in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | c :: rest ->
+        stack := rest;
+        List.iter
+          (fun nb ->
+            if (not seen.(idx nb)) && usable t (Mesh.link ~src:c ~dst:nb) then begin
+              seen.(idx nb) <- true;
+              incr count;
+              stack := nb :: !stack
+            end)
+          (Mesh.neighbors t.mesh c)
+  done;
+  !count = rows * cols
+
+(* Canonical (East/South) directions enumerate each undirected edge once. *)
+let alive_edges t =
+  let out = ref [] in
+  Mesh.iter_links t.mesh (fun id l ->
+      match Mesh.step_of_link l with
+      | Mesh.East | Mesh.South -> if t.factor.(id) > 0. then out := l :: !out
+      | Mesh.West | Mesh.North -> ());
+  Array.of_list (List.rev !out)
+
+(* Fisher-Yates driven by [choose], as in {!Path.random}: deterministic for
+   a deterministic chooser. *)
+let shuffle_with choose a =
+  for i = Array.length a - 1 downto 1 do
+    let j = choose (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let random_dead ?(connected_only = true) ~choose ~kills mesh =
+  let t = ref (healthy mesh) in
+  (try
+     for _ = 1 to kills do
+       let candidates = alive_edges !t in
+       shuffle_with choose candidates;
+       let killed =
+         Array.exists
+           (fun l ->
+             let t' = kill_link !t l in
+             if (not connected_only) || connected t' then begin
+               t := t';
+               true
+             end
+             else false)
+           candidates
+       in
+       if not killed then raise Exit
+     done
+   with Exit -> ());
+  !t
+
+let default_factors = [| 0.25; 0.5; 0.75 |]
+
+let random_degraded ?(factors = default_factors) ~choose ~n mesh =
+  if Array.length factors = 0 then
+    invalid_arg "Fault.random_degraded: no factors";
+  let t = ref (healthy mesh) in
+  let edges = alive_edges !t in
+  shuffle_with choose edges;
+  let n = min n (Array.length edges) in
+  for i = 0 to n - 1 do
+    t := degrade_link !t edges.(i) factors.(choose (Array.length factors))
+  done;
+  !t
+
+let pp ppf t =
+  let dead = num_dead t and deg = List.length (degraded_links t) in
+  if dead = 0 && deg = 0 then Format.fprintf ppf "no faults on %a" Mesh.pp t.mesh
+  else
+    Format.fprintf ppf "%d dead edges, %d degraded links on %a" dead deg
+      Mesh.pp t.mesh

@@ -1,0 +1,87 @@
+(** Fault scenarios on the mesh interconnect.
+
+    A scenario assigns every directed link a capacity factor in [[0, 1]]:
+    [1.] is a healthy link, [0.] a dead one, and anything in between a link
+    degraded to that fraction of the nominal bandwidth [BW]. Faults are
+    physical, so every builder kills or degrades {e both} directions of an
+    edge at once (dead routers kill all incident edges).
+
+    The module lives in [Noc] and therefore cannot depend on [Traffic.Rng];
+    random generators take a [choose] callback exactly like {!Path.random},
+    so [Traffic.Rng.int rng] plugs in directly. *)
+
+type t
+
+val healthy : Mesh.t -> t
+(** Every link at factor [1.]. *)
+
+val mesh : t -> Mesh.t
+
+val factor : t -> int -> float
+(** Capacity factor of a directed link by {!Mesh.link_id}. *)
+
+val factor_link : t -> Mesh.link -> float
+
+val usable : t -> Mesh.link -> bool
+(** [factor > 0.]: degraded links remain usable, dead ones do not. *)
+
+val usable_id : t -> int -> bool
+
+val is_trivial : t -> bool
+(** No link is dead or degraded; routing may skip fault handling. *)
+
+(** {1 Builders} — all functional, returning an updated scenario. *)
+
+val kill_link : t -> Mesh.link -> t
+(** Set both directions of the edge to factor [0.]. *)
+
+val degrade_link : t -> Mesh.link -> float -> t
+(** Set both directions of the edge to the given factor.
+    @raise Invalid_argument if the factor is outside [[0, 1]]. *)
+
+val kill_router : t -> Coord.t -> t
+(** Kill every edge incident to the core.
+    @raise Invalid_argument if the core is not in the mesh. *)
+
+val kill_region : t -> a:Coord.t -> b:Coord.t -> t
+(** Kill every router in the axis-aligned rectangle spanned by the two
+    corners (a regional outage). *)
+
+(** {1 Inspection} *)
+
+val dead_links : t -> Mesh.link list
+(** Directed links at factor [0.], in {!Mesh.link_id} order. *)
+
+val degraded_links : t -> (Mesh.link * float) list
+(** Directed links with factor strictly between 0 and 1. *)
+
+val num_dead : t -> int
+(** Number of dead {e undirected} edges. *)
+
+val path_usable : t -> Path.t -> bool
+(** No link of the path is dead. *)
+
+val walk_usable : t -> Walk.t -> bool
+
+val connected : t -> bool
+(** The surviving undirected graph spans every core. *)
+
+(** {1 Random scenarios} *)
+
+val random_dead :
+  ?connected_only:bool -> choose:(int -> int) -> kills:int -> Mesh.t -> t
+(** [random_dead ~choose ~kills mesh] kills [kills] uniformly random edges.
+    With [connected_only] (the default) each kill is resampled so the
+    surviving graph stays connected — every core pair keeps some route, and
+    the sweep isolates capacity loss from outright disconnection. If no
+    further edge can be removed without disconnecting the mesh, fewer than
+    [kills] edges die. [choose n] must return a uniform integer in
+    [0 .. n-1]. *)
+
+val random_degraded :
+  ?factors:float array -> choose:(int -> int) -> n:int -> Mesh.t -> t
+(** Degrade [n] distinct random edges, each to a factor drawn from
+    [factors] (default [[|0.25; 0.5; 0.75|]]).
+    @raise Invalid_argument if [factors] is empty. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,10 +1,35 @@
-type t = { mesh : Mesh.t; loads : float array }
+type t = { mesh : Mesh.t; loads : float array; fault : Fault.t option }
 
-let create mesh = { mesh; loads = Array.make (Mesh.num_links mesh) 0. }
+let create ?fault mesh =
+  { mesh; loads = Array.make (Mesh.num_links mesh) 0.; fault }
+
 let mesh t = t.mesh
+let fault t = t.fault
 let copy t = { t with loads = Array.copy t.loads }
 let get t id = t.loads.(id)
 let get_link t l = t.loads.(Mesh.link_id t.mesh l)
+
+let factor t id =
+  match t.fault with None -> 1. | Some f -> Fault.factor f id
+
+let factor_link t l = factor t (Mesh.link_id t.mesh l)
+
+let usable t id =
+  match t.fault with None -> true | Some f -> Fault.usable_id f id
+
+let usable_link t l = usable t (Mesh.link_id t.mesh l)
+
+(* Load rescaled to the healthy capacity scale: a link at factor [phi]
+   carrying [x] behaves like a healthy link carrying [x / phi]. Dead links
+   map any positive load to [infinity] (and 0 to 0, not nan). *)
+let get_effective t id =
+  let x = t.loads.(id) in
+  let phi = factor t id in
+  if phi = 1. then x
+  else if phi = 0. then if x > 0. then infinity else 0.
+  else x /. phi
+
+let get_effective_link t l = get_effective t (Mesh.link_id t.mesh l)
 
 (* Loads are sums/differences of the same rate values, so exact cancellation
    is common; clamp the residual noise so that feasibility tests with
@@ -18,6 +43,8 @@ let add t id delta =
 let add_link t l delta = add t (Mesh.link_id t.mesh l) delta
 let add_path t path rate = Path.iter_links path (fun l -> add_link t l rate)
 let remove_path t path rate = add_path t path (-.rate)
+let add_walk t walk rate = Walk.iter_links walk (fun l -> add_link t l rate)
+let remove_walk t walk rate = add_walk t walk (-.rate)
 let max_load t = Array.fold_left max 0. t.loads
 let total t = Array.fold_left ( +. ) 0. t.loads
 
@@ -38,11 +65,15 @@ let fold f t acc =
 
 let iter f t = Array.iteri f t.loads
 
+(* Hottest-first by *effective* load, so fault-aware consumers (PR's link
+   removal, XYI's hot-link scan) see a degraded link as proportionally
+   fuller. Identical to raw-load order when the accounting carries no
+   fault. *)
 let sorted_ids t =
   let ids = Array.init (Array.length t.loads) Fun.id in
   Array.sort
     (fun a b ->
-      let c = Float.compare t.loads.(b) t.loads.(a) in
+      let c = Float.compare (get_effective t b) (get_effective t a) in
       if c <> 0 then c else Int.compare a b)
     ids;
   ids

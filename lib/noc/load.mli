@@ -8,10 +8,14 @@
 
 type t
 
-val create : Mesh.t -> t
-(** All loads start at zero. *)
+val create : ?fault:Fault.t -> Mesh.t -> t
+(** All loads start at zero. The optional fault scenario travels with the
+    accounting so that consumers ({!Routing.Evaluate}, heuristic cost
+    functions) see the degraded capacities without extra plumbing. *)
 
 val mesh : t -> Mesh.t
+
+val fault : t -> Fault.t option
 
 val copy : t -> t
 
@@ -19,6 +23,24 @@ val get : t -> int -> float
 (** Load of the link with the given {!Mesh.link_id}. *)
 
 val get_link : t -> Mesh.link -> float
+
+val factor : t -> int -> float
+(** Capacity factor of the link under the carried fault ([1.] without one). *)
+
+val factor_link : t -> Mesh.link -> float
+
+val usable : t -> int -> bool
+(** The link is not dead under the carried fault (always true without one). *)
+
+val usable_link : t -> Mesh.link -> bool
+
+val get_effective : t -> int -> float
+(** Load rescaled to the healthy capacity scale: a link at factor [phi]
+    carrying [x] behaves like a healthy link carrying [x / phi]. A dead link
+    with positive load reads as [infinity]; without a fault this is {!get}
+    exactly. *)
+
+val get_effective_link : t -> Mesh.link -> float
 
 val add : t -> int -> float -> unit
 (** [add t id delta] adds [delta] (possibly negative) to a link load.
@@ -31,6 +53,12 @@ val add_path : t -> Path.t -> float -> unit
 
 val remove_path : t -> Path.t -> float -> unit
 (** Inverse of {!add_path}. *)
+
+val add_walk : t -> Walk.t -> float -> unit
+(** Routes [rate] units along every link of a (possibly non-Manhattan)
+    walk. *)
+
+val remove_walk : t -> Walk.t -> float -> unit
 
 val max_load : t -> float
 
@@ -50,4 +78,5 @@ val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
 val iter : (int -> float -> unit) -> t -> unit
 
 val sorted_ids : t -> int array
-(** All link ids sorted by decreasing load (ties by id). *)
+(** All link ids sorted by decreasing {e effective} load (ties by id) —
+    the raw-load order when the accounting carries no fault. *)

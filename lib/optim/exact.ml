@@ -3,7 +3,7 @@ open Routing
 type result =
   | Optimal of Solution.t * float
   | Infeasible
-  | Truncated of (Solution.t * float) option
+  | Timeout of { nodes : int; incumbent : (Solution.t * float) option }
 
 (* Continuous-frequency power of the current loads: a lower bound on the
    power of any completion under either frequency mode. *)
@@ -15,7 +15,7 @@ let continuous_power model loads =
         acc +. model.Power.Model.p_leak +. Power.Model.dynamic_power model load)
     loads 0.
 
-let route ?(max_nodes = 5_000_000) model mesh comms =
+let route ?(max_nodes = 5_000_000) ?fault model mesh comms =
   let comms =
     Array.of_list (Traffic.Communication.sort By_rate_desc comms)
   in
@@ -30,7 +30,7 @@ let route ?(max_nodes = 5_000_000) model mesh comms =
       +. float_of_int (Traffic.Communication.length c)
          *. Power.Model.dynamic_power model c.Traffic.Communication.rate
   done;
-  let loads = Noc.Load.create mesh in
+  let loads = Noc.Load.create ?fault mesh in
   let chosen = Array.make nc None in
   let best = ref None in
   let nodes = ref 0 in
@@ -61,11 +61,13 @@ let route ?(max_nodes = 5_000_000) model mesh comms =
             incr nodes;
             if !nodes > max_nodes then truncated := true
             else begin
-              (* Capacity check along the candidate path. *)
+              (* Capacity check along the candidate path, against each
+                 link's (possibly fault-degraded) ceiling. *)
               let fits =
                 Array.for_all
                   (fun l ->
-                    Power.Model.is_feasible model
+                    Power.Model.is_feasible_capped model
+                      ~factor:(Noc.Load.factor_link loads l)
                       (Noc.Load.get_link loads l +. rate))
                   (Noc.Path.links path)
               in
@@ -94,10 +96,10 @@ let route ?(max_nodes = 5_000_000) model mesh comms =
   match (!truncated, !best) with
   | false, Some (s, p) -> Optimal (s, p)
   | false, None -> Infeasible
-  | true, incumbent -> Truncated incumbent
+  | true, incumbent -> Timeout { nodes = !nodes; incumbent }
 
-let route_solution ?max_nodes model mesh comms =
-  match route ?max_nodes model mesh comms with
+let route_solution ?max_nodes ?fault model mesh comms =
+  match route ?max_nodes ?fault model mesh comms with
   | Optimal (s, _) -> Some s
-  | Truncated (Some (s, _)) -> Some s
-  | Infeasible | Truncated None -> None
+  | Timeout { incumbent = Some (s, _); _ } -> Some s
+  | Infeasible | Timeout { incumbent = None; _ } -> None

@@ -20,20 +20,28 @@ type result =
       (** Cheapest feasible 1-MP routing and its exact power. *)
   | Infeasible
       (** No single-path routing satisfies the link capacities (proved). *)
-  | Truncated of (Solution.t * float) option
-      (** Search hit [max_nodes]; holds the incumbent if one was found. *)
+  | Timeout of { nodes : int; incumbent : (Solution.t * float) option }
+      (** The node budget ran out before the search finished: [nodes] is
+          the number explored and [incumbent] the best feasible solution
+          found so far, if any. A typed result instead of an unbounded
+          hang — the harness records it as a structured trial error. *)
 
 val route :
   ?max_nodes:int ->
+  ?fault:Noc.Fault.t ->
   Power.Model.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->
   result
 (** [max_nodes] caps the number of explored search nodes
-    (default [5_000_000]). *)
+    (default [5_000_000]). Under a fault, candidate paths must fit each
+    link's degraded ceiling — paths through dead links are rejected
+    outright, so the optimum is over surviving Manhattan routings (the
+    exact solver never detours). *)
 
 val route_solution :
   ?max_nodes:int ->
+  ?fault:Noc.Fault.t ->
   Power.Model.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->

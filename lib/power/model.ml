@@ -83,6 +83,46 @@ let penalized_cost t load =
     +. dynamic_power t load
     +. (1e9 *. (1. +. ((load -. t.capacity) /. t.capacity)))
 
+(* Capped variants model a link degraded to [factor * capacity] (a fault
+   scenario): the link cannot clock above the degraded bandwidth, so discrete
+   levels past it are unusable. [factor >= 1.] delegates to the healthy
+   functions so the no-fault path stays bit-identical. *)
+let required_frequency_capped t ~factor load =
+  if factor >= 1. then required_frequency t load
+  else if load <= 0. then Some 0.
+  else
+    let cap = factor *. t.capacity in
+    if load > cap +. tolerance then None
+    else
+      match t.mode with
+      | Continuous -> Some load
+      | Discrete levels ->
+          let n = Array.length levels in
+          let rec find i =
+            if i >= n then None
+            else if levels.(i) > cap +. tolerance then None
+            else if levels.(i) +. tolerance >= load then Some levels.(i)
+            else find (i + 1)
+          in
+          find 0
+
+let is_feasible_capped t ~factor load =
+  if factor >= 1. then is_feasible t load
+  else load <= 0. || required_frequency_capped t ~factor load <> None
+
+let penalized_cost_capped t ~factor load =
+  if factor >= 1. then penalized_cost t load
+  else if load <= 0. then 0.
+  else
+    match required_frequency_capped t ~factor load with
+    | Some 0. -> 0.
+    | Some f -> t.p_leak +. dynamic_power t f
+    | None ->
+        let cap = factor *. t.capacity in
+        t.p_leak
+        +. dynamic_power t load
+        +. (1e9 *. (1. +. ((load -. cap) /. t.capacity)))
+
 let pp ppf t =
   let mode =
     match t.mode with

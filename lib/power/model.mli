@@ -78,4 +78,25 @@ val penalized_cost : t -> float -> float
     [capacity], so that reducing an overload always reduces the cost and any
     infeasible state costs more than any feasible one. *)
 
+(** {1 Degraded links}
+
+    A fault scenario ({!Noc.Fault}) can degrade a link to a fraction
+    [factor] of the nominal bandwidth. The capped variants treat
+    [factor * capacity] as the link's ceiling: discrete frequency levels
+    above it are unusable, so a degraded link may be infeasible for a load
+    it could carry when healthy. With [factor >= 1.] they are exactly the
+    healthy functions (bit-identical results). *)
+
+val required_frequency_capped : t -> factor:float -> float -> float option
+(** Lowest admissible frequency not exceeding [factor * capacity]. *)
+
+val is_feasible_capped : t -> factor:float -> float -> bool
+(** Some admissible frequency exists for the load on the degraded link. *)
+
+val penalized_cost_capped : t -> factor:float -> float -> float
+(** {!penalized_cost} against the degraded ceiling: the penalty starts at
+    [factor * capacity] instead of [capacity] (a dead link makes any
+    positive load expensive), so cost-guided heuristics steer around faults
+    without a separate feasibility check. *)
+
 val pp : Format.formatter -> t -> unit

@@ -3,6 +3,7 @@ type event =
   | Delivered of { cycle : int; comm_id : int; packet : int; latency : int }
   | Escaped of { cycle : int; comm_id : int; packet : int }
   | Deadlock of { cycle : int }
+  | Link_killed of { cycle : int; link : Noc.Mesh.link }
 
 type flit = { pkt : int; is_head : bool; is_tail : bool; mutable stamp : int }
 
@@ -57,10 +58,14 @@ type t = {
   link_flits : int array;  (* measured traversals per link *)
   mutable ran : bool;
   mutable observer : (event -> unit) option;
+  mutable kills : (int * int) list;  (* (absolute cycle, link id) pending *)
 }
 
 let path_links mesh path =
   Array.map (Noc.Mesh.link_id mesh) (Noc.Path.links path)
+
+let walk_links mesh walk =
+  Array.map (Noc.Mesh.link_id mesh) (Noc.Walk.links walk)
 
 let link_rate config model load =
   let cap = model.Power.Model.capacity in
@@ -86,16 +91,20 @@ let create ?(config = Config.default) model solution =
       (List.map
          (fun (r : Routing.Solution.route) ->
            let total = r.comm.Traffic.Communication.rate in
+           let all_routes =
+             List.map
+               (fun (p, share) -> (path_links mesh p, share /. total))
+               r.paths
+             @ List.map
+                 (fun (w, share) -> (walk_links mesh w, share /. total))
+                 r.detours
+           in
            {
              comm = r.comm;
-             paths =
-               Array.of_list
-                 (List.map
-                    (fun (p, share) -> (path_links mesh p, share /. total))
-                    r.paths);
+             paths = Array.of_list all_routes;
              flit_rate = total /. model.Power.Model.capacity;
              acc = 0.;
-             sent_per_path = Array.make (List.length r.paths) 0.;
+             sent_per_path = Array.make (List.length all_routes) 0.;
              pending = Queue.create ();
              emit_count = 0;
              emit_vc = -1;
@@ -150,12 +159,36 @@ let create ?(config = Config.default) model solution =
     link_flits = Array.make nlinks 0;
     ran = false;
     observer = None;
+    kills = [];
   }
 
 let set_observer t f = t.observer <- Some f
 
 let emit t event =
   match t.observer with Some f -> f event | None -> ()
+
+let schedule_link_kill t ~cycle link =
+  if not (Noc.Mesh.link_exists t.mesh link) then
+    invalid_arg
+      (Format.asprintf "Network.schedule_link_kill: no link %a"
+         Noc.Mesh.pp_link link);
+  if cycle < 0 then invalid_arg "Network.schedule_link_kill: cycle < 0";
+  t.kills <- (cycle, Noc.Mesh.link_id t.mesh link) :: t.kills
+
+let apply_kills t =
+  match t.kills with
+  | [] -> ()
+  | kills ->
+      let due, rest = List.partition (fun (c, _) -> c <= t.cycle) kills in
+      t.kills <- rest;
+      List.iter
+        (fun (_, l) ->
+          t.rate.(l) <- 0.;
+          t.credit.(l) <- 0.;
+          emit t
+            (Link_killed
+               { cycle = t.cycle; link = Noc.Mesh.link_of_id t.mesh l }))
+        due
 
 (* Index of link [l] on the packet's route (routes never repeat a link). *)
 let hop_index pkt l =
@@ -462,6 +495,7 @@ let trigger_escapes t =
 
 let step t =
   t.cycle <- t.cycle + 1;
+  apply_kills t;
   inject_new_packets t;
   eject t;
   arbitrate t;

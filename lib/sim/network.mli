@@ -25,6 +25,8 @@ type event =
   | Escaped of { cycle : int; comm_id : int; packet : int }
       (** The packet abandoned its prescribed route for the XY escape VC. *)
   | Deadlock of { cycle : int }
+  | Link_killed of { cycle : int; link : Noc.Mesh.link }
+      (** A scheduled mid-simulation fault took the link down. *)
 
 type comm_stats = {
   comm : Traffic.Communication.t;
@@ -56,12 +58,23 @@ type report = {
 val create :
   ?config:Config.t -> Power.Model.t -> Routing.Solution.t -> t
 (** Builds the network, assigns link frequencies from the solution's loads
-    and installs one injector per communication.
+    and installs one injector per communication. Detour walks of the
+    solution are source-routed exactly like Manhattan paths.
     @raise Invalid_argument on an inconsistent configuration. *)
 
 val set_observer : t -> (event -> unit) -> unit
 (** Install a callback invoked synchronously on every packet injection,
-    delivery, escape, and on deadlock detection. At most one observer. *)
+    delivery, escape, scheduled link kill, and on deadlock detection. At
+    most one observer. *)
+
+val schedule_link_kill : t -> cycle:int -> Noc.Mesh.link -> unit
+(** Take the (directed) link down at the given absolute simulation cycle —
+    cycles count from the start of {!run}, warmup included. A dead link
+    stops earning credit, so flits routed over it stall at its source
+    router until the escape VC reroutes them (or, with escapes disabled,
+    until the deadlock detector fires). Call before {!run}.
+    @raise Invalid_argument on a link outside the mesh or a negative
+    cycle. *)
 
 val run : ?warmup:int -> t -> cycles:int -> report
 (** Advances the simulation: [warmup] unmeasured cycles (default

@@ -6,7 +6,7 @@ let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
 
 let test_figures_registered () =
-  check_int "nine figures" 9 (List.length Harness.Figure.all);
+  check_int "ten figures" 10 (List.length Harness.Figure.all);
   check_bool "find fig8b" true
     (match Harness.Figure.find "FIG8B" with
     | Some f -> f.Harness.Figure.id = "fig8b"
@@ -48,6 +48,7 @@ let tiny_figure =
       (fun rng x ->
         Traffic.Workload.uniform rng Harness.Figure.mesh ~n:(int_of_float x)
           ~weight:Traffic.Workload.small);
+    scenario = None;
   }
 
 let test_runner_bookkeeping () =
@@ -303,6 +304,161 @@ let test_problem_errors () =
   expect_error "mesh 2 2\ncomm 1 1 1 1 100";
   expect_error "mesh 2 2\nnonsense line"
 
+(* ------------------------------------------------------------------ *)
+(* Crash safety: error isolation and checkpoints *)
+
+let bomb =
+  Routing.Heuristic.of_plain ~name:"BOMB" ~description:"always raises"
+    (fun _ _ _ -> failwith "kaboom")
+
+let test_runner_isolates_heuristic_errors () =
+  let acc = Harness.Summary.create () in
+  let heuristics = Routing.Heuristic.all @ [ bomb ] in
+  let r =
+    Harness.Runner.run ~trials:6 ~seed:4 ~heuristics ~summary:acc tiny_figure
+  in
+  check_int "campaign completes" 2 (List.length r.rows);
+  let reference = Harness.Runner.run ~trials:6 ~seed:4 tiny_figure in
+  List.iter2
+    (fun (row : Harness.Runner.row) (ref_row : Harness.Runner.row) ->
+      let b = List.assoc "BOMB" row.cells in
+      check_float "bomb errors every trial" 1. b.error_ratio;
+      check_float "errors count as failures" 1. b.failure_ratio;
+      check_float "errored cell scores zero" 0. b.norm_inv_power;
+      check_bool "error message captured" true
+        (match b.error_example with
+        | Some m -> contains_substring m "kaboom"
+        | None -> false);
+      (* Every other cell is error-free and bit-identical to a campaign
+         run without the bomb at all. *)
+      List.iter
+        (fun (name, (s : Harness.Runner.stats)) ->
+          if name <> "BOMB" then begin
+            check_float (name ^ " error-free") 0. s.error_ratio;
+            check_bool (name ^ " unaffected") true
+              (s = List.assoc name ref_row.cells)
+          end)
+        row.cells)
+    r.rows reference.rows;
+  (* Trials with any errored cell are excluded from the summary. *)
+  let s = Harness.Summary.finalize acc in
+  check_int "no instance observed" 0 s.Harness.Summary.instances
+
+let test_fault_figure_campaign () =
+  match Harness.Figure.find "figf" with
+  | None -> Alcotest.fail "figf not registered"
+  | Some fig ->
+      let r = Harness.Runner.run ~trials:4 ~seed:5 fig in
+      check_int "seven x points" 7 (List.length r.rows);
+      let best (row : Harness.Runner.row) = List.assoc "BEST" row.cells in
+      let first = List.hd r.rows
+      and last = List.nth r.rows (List.length r.rows - 1) in
+      (* x = 0 kills nothing: no trial errors, no detours — though heavy
+         mixed traffic may still be infeasible for every heuristic. *)
+      check_float "healthy mesh never errors" 0. (best first).error_ratio;
+      check_float "healthy mesh never detours" 0.
+        (best first).mean_detour_hops;
+      check_bool "kills do not help" true
+        ((best last).failure_ratio >= (best first).failure_ratio);
+      List.iter
+        (fun (row : Harness.Runner.row) ->
+          List.iter
+            (fun (_, (s : Harness.Runner.stats)) ->
+              check_bool "errors are failures" true
+                (s.error_ratio <= s.failure_ratio +. 1e-9);
+              check_bool "errors carry a message" true
+                (s.error_ratio = 0. || s.error_example <> None))
+            row.cells)
+        r.rows
+
+let rows_equal (a : Harness.Runner.result) (b : Harness.Runner.result) =
+  List.length a.rows = List.length b.rows
+  && List.for_all2
+       (fun (ra : Harness.Runner.row) (rb : Harness.Runner.row) ->
+         ra.x = rb.x && ra.cells = rb.cells)
+       a.rows b.rows
+
+let temp_checkpoint name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let test_checkpoint_resume_bit_identical () =
+  let path = temp_checkpoint "manroute_ckpt_full.tsv" in
+  let fresh = Harness.Runner.run ~trials:5 ~seed:11 tiny_figure in
+  let first = Harness.Runner.run ~trials:5 ~seed:11 ~checkpoint:path tiny_figure in
+  check_bool "checkpointed run matches plain run" true (rows_equal fresh first);
+  let resumed =
+    Harness.Runner.run ~trials:5 ~seed:11 ~checkpoint:path tiny_figure
+  in
+  check_bool "fully resumed run bit-identical" true (rows_equal fresh resumed);
+  Sys.remove path
+
+let test_checkpoint_partial_resume () =
+  let path = temp_checkpoint "manroute_ckpt_part.tsv" in
+  let fresh = Harness.Runner.run ~trials:4 ~seed:13 tiny_figure in
+  ignore (Harness.Runner.run ~trials:4 ~seed:13 ~checkpoint:path tiny_figure);
+  (* Simulate a crash after the first row: keep it, then leave a torn
+     half-written line with no newline, as a dying process would. *)
+  let ic = open_in path in
+  let first_line = input_line ic in
+  close_in ic;
+  let oc = open_out path in
+  output_string oc (first_line ^ "\nrow\tv1\ttiny\t13\t4\t0x1p+");
+  close_out oc;
+  let resumed =
+    Harness.Runner.run ~trials:4 ~seed:13 ~checkpoint:path tiny_figure
+  in
+  check_bool "partial resume bit-identical" true (rows_equal fresh resumed);
+  (* The resumed run healed the sidecar: both rows load cleanly now. *)
+  let key = { Harness.Checkpoint.figure_id = "tiny"; seed = 13; trials = 4 } in
+  check_int "sidecar holds both rows" 2
+    (List.length (Harness.Checkpoint.load ~path key));
+  Sys.remove path
+
+let test_checkpoint_key_mismatch_recomputes () =
+  let path = temp_checkpoint "manroute_ckpt_key.tsv" in
+  ignore (Harness.Runner.run ~trials:3 ~seed:17 ~checkpoint:path tiny_figure);
+  (* A different trial count must not reuse these rows. *)
+  let key3 = { Harness.Checkpoint.figure_id = "tiny"; seed = 17; trials = 3 }
+  and key5 = { Harness.Checkpoint.figure_id = "tiny"; seed = 17; trials = 5 } in
+  check_int "own key sees rows" 2 (List.length (Harness.Checkpoint.load ~path key3));
+  check_int "other key sees none" 0 (List.length (Harness.Checkpoint.load ~path key5));
+  let fresh5 = Harness.Runner.run ~trials:5 ~seed:17 tiny_figure in
+  let via5 = Harness.Runner.run ~trials:5 ~seed:17 ~checkpoint:path tiny_figure in
+  check_bool "recomputed, not reused" true (rows_equal fresh5 via5);
+  Sys.remove path
+
+let test_checkpoint_corrupt_lines_tolerated () =
+  let path = temp_checkpoint "manroute_ckpt_bad.tsv" in
+  let key = { Harness.Checkpoint.figure_id = "tiny"; seed = 1; trials = 2 } in
+  let cell =
+    {
+      Harness.Checkpoint.name = "XY";
+      failure_ratio = 0.5;
+      error_ratio = 0.;
+      norm_inv_power = 0.25;
+      norm_stderr = 0.01;
+      mean_power = None;
+      mean_detour_hops = 0.;
+      error_example = Some "multi\nline\tmessage";
+    }
+  in
+  Harness.Checkpoint.append ~path key ~x:2. [ cell ];
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc "not a row at all\n";
+  output_string oc "row\tv1\ttiny\t1\t2\tnot-a-float\t1\tXY\n";
+  output_string oc "row\tv0\ttiny\t1\t2\t0x1p+1\t0\n";
+  close_out oc;
+  match Harness.Checkpoint.load ~path key with
+  | [ (x, [ c ]) ] ->
+      check_float "x round-trips" 2. x;
+      check_bool "cell round-trips, message included" true (c = cell);
+      Sys.remove path
+  | rows ->
+      Alcotest.failf "expected exactly the one good row, got %d"
+        (List.length rows)
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "harness"
@@ -344,5 +500,14 @@ let () =
           quick "roundtrip" test_problem_roundtrip;
           quick "comments and blanks" test_problem_comments_and_blanks;
           quick "errors" test_problem_errors;
+        ] );
+      ( "crash safety",
+        [
+          quick "isolates heuristic errors" test_runner_isolates_heuristic_errors;
+          quick "fault figure campaign" test_fault_figure_campaign;
+          quick "checkpoint full resume" test_checkpoint_resume_bit_identical;
+          quick "checkpoint partial resume" test_checkpoint_partial_resume;
+          quick "checkpoint key mismatch" test_checkpoint_key_mismatch_recomputes;
+          quick "checkpoint corrupt lines" test_checkpoint_corrupt_lines_tolerated;
         ] );
     ]

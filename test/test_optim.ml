@@ -30,15 +30,18 @@ let test_exact_infeasible () =
     (Optim.Exact.route km m comms = Optim.Exact.Infeasible)
 
 let test_exact_truncation () =
-  (* A 6x6 instance with a 1-node budget must truncate. *)
+  (* A 6x6 instance with a 1-node budget must time out, reporting the node
+     count and (here, with a single explored node) no incumbent. *)
   let rng = Traffic.Rng.create 3 in
   let comms =
     Traffic.Workload.uniform rng (Noc.Mesh.square 6) ~n:6
       ~weight:Traffic.Workload.small
   in
   match Optim.Exact.route ~max_nodes:1 km (Noc.Mesh.square 6) comms with
-  | Optim.Exact.Truncated _ -> ()
-  | _ -> Alcotest.fail "expected truncation"
+  | Optim.Exact.Timeout { nodes; incumbent } ->
+      check_bool "budget respected" true (nodes >= 1);
+      check_bool "no incumbent after one node" true (incumbent = None)
+  | _ -> Alcotest.fail "expected a timeout"
 
 let brute_force model mesh comms =
   (* Reference implementation: full cartesian enumeration, no pruning. *)
@@ -100,7 +103,7 @@ let prop_exact_below_heuristics =
             (fun (o : Routing.Best.outcome) ->
               not o.report.Routing.Evaluate.feasible)
             (Routing.Best.run_all km mesh comms)
-      | Optim.Exact.Truncated _ -> true)
+      | Optim.Exact.Timeout _ -> true)
 
 let test_route_solution_wrapper () =
   (match

@@ -42,7 +42,7 @@ let prop_heuristics_never_beat_exact =
             (fun (o : Routing.Best.outcome) ->
               not o.report.Routing.Evaluate.feasible)
             (Routing.Best.run_all km mesh comms)
-      | Optim.Exact.Truncated _ -> QCheck.assume_fail ())
+      | Optim.Exact.Timeout _ -> QCheck.assume_fail ())
 
 let prop_best_of_is_cheapest_feasible =
   QCheck.Test.make

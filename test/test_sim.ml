@@ -194,7 +194,8 @@ let test_observer_events_match_stats () =
         Alcotest.(check bool) "positive latency" true (latency > 0);
         incr delivered
     | Sim.Network.Escaped _ -> incr escaped
-    | Sim.Network.Deadlock _ -> Alcotest.fail "no deadlock expected");
+    | Sim.Network.Deadlock _ -> Alcotest.fail "no deadlock expected"
+    | Sim.Network.Link_killed _ -> Alcotest.fail "no kill scheduled");
   let r = Sim.Network.run ~warmup:0 net ~cycles:10_000 in
   (match r.Sim.Network.comms with
   | [ s ] ->
@@ -249,6 +250,114 @@ let test_all_heuristics_validate_on_easy_instance () =
       end)
     Routing.Heuristic.all
 
+(* ------------------------------------------------------------------ *)
+(* Mid-simulation link kills *)
+
+(* A YX route (1,1)->(2,1)->(3,1)->(3,2)->(3,3) whose second hop dies
+   mid-run; the XY escape from the stall point avoids the dead link. *)
+let kill_instance () =
+  let mesh = Noc.Mesh.square 4 in
+  let c = comm 0 (coord 1 1) (coord 3 3) 800. in
+  let path = Noc.Path.yx ~src:c.src ~snk:c.snk in
+  let sol =
+    Routing.Solution.make mesh [ Routing.Solution.route_single c path ]
+  in
+  (sol, Noc.Mesh.link ~src:(coord 2 1) ~dst:(coord 3 1))
+
+let test_link_kill_escape_delivers () =
+  let sol, dead = kill_instance () in
+  let net = Sim.Network.create km sol in
+  Sim.Network.schedule_link_kill net ~cycle:200 dead;
+  let kills = ref 0 and escaped = ref 0 and delivered_after = ref 0 in
+  Sim.Network.set_observer net (function
+    | Sim.Network.Link_killed { cycle; _ } ->
+        incr kills;
+        check_bool "kill applied at its cycle" true (cycle >= 200)
+    | Sim.Network.Escaped _ -> incr escaped
+    | Sim.Network.Delivered { cycle; _ } ->
+        if cycle > 400 then incr delivered_after
+    | _ -> ());
+  let r = Sim.Network.run ~warmup:0 net ~cycles:10_000 in
+  check_int "one kill event" 1 !kills;
+  check_bool "no deadlock" false r.Sim.Network.deadlocked;
+  check_bool "packets escaped around the dead link" true (!escaped > 0);
+  check_bool "deliveries continue after the kill" true (!delivered_after > 0)
+
+let test_link_kill_without_escape_deadlocks () =
+  let sol, dead = kill_instance () in
+  let config =
+    {
+      Sim.Config.default with
+      escape_vc = false;
+      num_vcs = 2;
+      deadlock_window = 2_000;
+    }
+  in
+  let net = Sim.Network.create ~config km sol in
+  Sim.Network.schedule_link_kill net ~cycle:200 dead;
+  let r = Sim.Network.run ~warmup:0 net ~cycles:15_000 in
+  check_bool "deadlock detected" true r.Sim.Network.deadlocked
+
+let test_schedule_kill_validation () =
+  let sol, dead = kill_instance () in
+  let net = Sim.Network.create km sol in
+  let rejects cycle link =
+    match Sim.Network.schedule_link_kill net ~cycle link with
+    | () -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  rejects (-1) dead;
+  rejects 10 (Noc.Mesh.link ~src:(coord 1 1) ~dst:(coord 3 3))
+
+(* ------------------------------------------------------------------ *)
+(* Validate verdicts *)
+
+let test_validate_zero_comms () =
+  let mesh = Noc.Mesh.square 3 in
+  let sol = Routing.Solution.make mesh [] in
+  let v = Sim.Validate.run ~cycles:2_000 km sol in
+  check_bool "worst fraction is 1" true (v.worst_fraction = 1.0);
+  check_bool "all delivered" true v.all_delivered;
+  check_bool "no deadlock" false v.report.Sim.Network.deadlocked
+
+let test_validate_threshold_boundary () =
+  (* The same deterministic measurement, bracketed by two thresholds. *)
+  let mesh = Noc.Mesh.square 4 in
+  let comms = [ comm 0 (coord 1 1) (coord 4 4) 1000. ] in
+  let sol = Routing.Xy.route mesh comms in
+  let lax = Sim.Validate.run ~cycles:8_000 ~threshold:0.5 km sol in
+  check_bool "lax threshold passes" true lax.all_delivered;
+  (* Packet-granular measurement can slightly overshoot the request. *)
+  check_bool "fraction in (0.5, ~1]" true
+    (lax.worst_fraction > 0.5 && lax.worst_fraction <= 1.1);
+  let strict =
+    Sim.Validate.run ~cycles:8_000
+      ~threshold:(lax.worst_fraction +. 0.01)
+      km sol
+  in
+  check_bool "same measurement" true
+    (Float.abs (strict.worst_fraction -. lax.worst_fraction) < 1e-9);
+  check_bool "strict threshold fails" false strict.all_delivered
+
+let test_validate_deadlock_never_passes () =
+  (* A deadlocked run must not validate even with a zero threshold. *)
+  let config =
+    {
+      Sim.Config.default with
+      escape_vc = false;
+      num_vcs = 1;
+      packet_flits = 16;
+      buffer_flits = 4;
+      deadlock_window = 2_000;
+    }
+  in
+  let v =
+    Sim.Validate.run ~config ~cycles:30_000 ~threshold:0. km
+      (cyclic_instance ())
+  in
+  check_bool "deadlocked" true v.report.Sim.Network.deadlocked;
+  check_bool "not validated" false v.all_delivered
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -273,6 +382,18 @@ let () =
           quick "idle links off, xy" test_idle_links_off_still_delivers_xy;
           quick "router latency" test_router_latency_slows_packets;
           quick "zero warmup" test_zero_warmup;
+        ] );
+      ( "faults",
+        [
+          quick "kill then escape" test_link_kill_escape_delivers;
+          quick "kill without escape" test_link_kill_without_escape_deadlocks;
+          quick "schedule validation" test_schedule_kill_validation;
+        ] );
+      ( "validate",
+        [
+          quick "zero communications" test_validate_zero_comms;
+          quick "threshold boundary" test_validate_threshold_boundary;
+          quick "deadlock never passes" test_validate_deadlock_never_passes;
         ] );
       ( "api",
         [
