@@ -709,6 +709,9 @@ let () =
   Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
     (Harness.Runner.default_trials ())
     (Harness.Pool.default_jobs ());
+  (* MANROUTE_TRACE=FILE records the whole harness run as a Chrome trace. *)
+  Harness.Telemetry.tracing (Harness.Telemetry.trace_file ())
+  @@ fun () ->
   fig2 ();
   lemma1 ();
   thm1 ();

@@ -2,6 +2,8 @@
    ASCII rendering on stdout. Output directory: first argument, default
    ./results; worker domains: second argument, default MANROUTE_JOBS or
    the core count. Trials per point: MANROUTE_TRIALS (default 150).
+   MANROUTE_TRACE=FILE records the whole run as a Chrome trace;
+   MANROUTE_PROGRESS=1 keeps a live progress line on stderr.
 
    The campaign is crash-safe: each figure checkpoints its completed rows
    to <dir>/checkpoint.tsv, so a killed run resumes where it stopped with
@@ -19,9 +21,24 @@ let () =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let checkpoint = Filename.concat dir "checkpoint.tsv" in
   let acc = Harness.Summary.create () in
+  Harness.Telemetry.tracing (Harness.Telemetry.trace_file ())
+  @@ fun () ->
   List.iter
     (fun figure ->
-      let r = Harness.Runner.run ?jobs ~summary:acc ~checkpoint figure in
+      let progress =
+        if not (Harness.Telemetry.progress_enabled ()) then None
+        else
+          let rows = List.length figure.Harness.Figure.xs in
+          Some
+            (Harness.Telemetry.Progress.create
+               ~label:figure.Harness.Figure.id ~rows
+               ~total:(rows * Harness.Runner.default_trials ())
+               ())
+      in
+      let r =
+        Harness.Runner.run ?jobs ~summary:acc ~checkpoint ?progress figure
+      in
+      Option.iter Harness.Telemetry.Progress.finish progress;
       Format.printf "%a@." Harness.Render.pp_result r;
       let path = Harness.Render.write_csv ~dir r in
       Format.printf "-> %s@.@." path)

@@ -299,7 +299,28 @@ let figure_cmd =
              from the rows already there (bit-identical to an \
              uninterrupted run).")
   in
-  let run id trials csv seed jobs checkpoint =
+  let trace_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a span trace of the campaign (campaign > row > trial \
+             > heuristic) and write it to FILE as Chrome trace-event JSON \
+             — load it in chrome://tracing or Perfetto. Default: \
+             MANROUTE_TRACE when set. Tracing never changes the \
+             statistics.")
+  in
+  let progress_t =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Repaint a live progress line (rows, trials, errors, ETA) on \
+             stderr; resumed checkpoint rows are credited instantly. Also \
+             enabled by MANROUTE_PROGRESS=1.")
+  in
+  let run id trials csv seed jobs checkpoint trace progress =
     let figures =
       if String.lowercase_ascii id = "all" then Harness.Figure.all
       else
@@ -316,12 +337,30 @@ let figure_cmd =
         exit 1
     | _ -> ());
     let acc = Harness.Summary.create () in
+    Harness.Telemetry.tracing (Harness.Telemetry.trace_file ?cli:trace ())
+    @@ fun () ->
     List.iter
       (fun figure ->
+        let progress =
+          if not (Harness.Telemetry.progress_enabled ~cli:progress ()) then
+            None
+          else
+            let trials =
+              match trials with
+              | Some t -> t
+              | None -> Harness.Runner.default_trials ()
+            in
+            let rows = List.length figure.Harness.Figure.xs in
+            Some
+              (Harness.Telemetry.Progress.create
+                 ~label:figure.Harness.Figure.id ~rows ~total:(rows * trials)
+                 ())
+        in
         let r =
           Harness.Runner.run ?trials ?jobs ~seed ~summary:acc ?checkpoint
-            figure
+            ?progress figure
         in
+        Option.iter Harness.Telemetry.Progress.finish progress;
         Format.printf "%a@." Harness.Render.pp_result r;
         match csv with
         | Some dir ->
@@ -333,7 +372,8 @@ let figure_cmd =
   in
   let term =
     Term.(
-      const run $ id_t $ trials_t $ csv_t $ seed_t $ jobs_t $ checkpoint_t)
+      const run $ id_t $ trials_t $ csv_t $ seed_t $ jobs_t $ checkpoint_t
+      $ trace_t $ progress_t)
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce a simulation figure of the paper")

@@ -1,0 +1,20 @@
+(* tracecheck: validate a Chrome trace-event file written by
+   Harness.Telemetry — well-formed JSON of the expected shape, every event
+   complete ("ph":"X") with name/ts/dur/tid, and per-thread spans properly
+   nested. Exit 0 with an event count on success, exit 1 with the first
+   problem otherwise. Used by CI on the trace artifact; no external JSON
+   tool needed. *)
+
+let () =
+  match Sys.argv with
+  | [| _; path |] -> (
+      match Harness.Telemetry.validate_file path with
+      | Ok n ->
+          Printf.printf "%s: ok, %d events, spans balanced\n" path n;
+          exit 0
+      | Error msg ->
+          Printf.eprintf "%s: invalid trace: %s\n" path msg;
+          exit 1)
+  | _ ->
+      prerr_endline "usage: tracecheck FILE";
+      exit 2

@@ -10,6 +10,8 @@ type report = {
 }
 
 let of_loads model loads =
+  let m = Metrics.current () in
+  m.Metrics.feasibility_checks <- m.Metrics.feasibility_checks + 1;
   let mesh = Noc.Load.mesh loads in
   let static = ref 0. and dynamic = ref 0. and active = ref 0 in
   let max_load = ref 0. and overloaded = ref [] in

@@ -14,7 +14,8 @@ type t = {
    ever returns a solution crossing a dead link. *)
 let repair fault model s =
   match fault with
-  | Some f when not (Noc.Fault.is_trivial f) -> Repair.solution f model s
+  | Some f when not (Noc.Fault.is_trivial f) ->
+      Metrics.with_span "repair" (fun () -> Repair.solution f model s)
   | _ -> s
 
 let of_plain ~name ~description plain =

@@ -53,6 +53,8 @@ let build_path model loads (comm : Traffic.Communication.t) =
     in
     cores.(i + 1) <- next
   done;
+  let m = Metrics.current () in
+  m.Metrics.paths_scored <- m.Metrics.paths_scored + 1;
   Noc.Path.of_cores cores
 
 let route ?(order = Traffic.Communication.By_rate_desc) ?fault mesh model

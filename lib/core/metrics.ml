@@ -1,0 +1,94 @@
+type counters = {
+  mutable paths_scored : int;
+  mutable dp_cells : int;
+  mutable bb_nodes : int;
+  mutable detour_searches : int;
+  mutable feasibility_checks : int;
+}
+
+let zero () =
+  {
+    paths_scored = 0;
+    dp_cells = 0;
+    bb_nodes = 0;
+    detour_searches = 0;
+    feasibility_checks = 0;
+  }
+
+(* One block per domain: increments never contend, and a trial runs
+   entirely on one domain, so snapshot deltas taken around it are exact
+   whatever the worker count. *)
+let key = Domain.DLS.new_key zero
+let current () = Domain.DLS.get key
+
+let snapshot () =
+  let c = current () in
+  {
+    paths_scored = c.paths_scored;
+    dp_cells = c.dp_cells;
+    bb_nodes = c.bb_nodes;
+    detour_searches = c.detour_searches;
+    feasibility_checks = c.feasibility_checks;
+  }
+
+let diff a b =
+  {
+    paths_scored = a.paths_scored - b.paths_scored;
+    dp_cells = a.dp_cells - b.dp_cells;
+    bb_nodes = a.bb_nodes - b.bb_nodes;
+    detour_searches = a.detour_searches - b.detour_searches;
+    feasibility_checks = a.feasibility_checks - b.feasibility_checks;
+  }
+
+let add ~into c =
+  into.paths_scored <- into.paths_scored + c.paths_scored;
+  into.dp_cells <- into.dp_cells + c.dp_cells;
+  into.bb_nodes <- into.bb_nodes + c.bb_nodes;
+  into.detour_searches <- into.detour_searches + c.detour_searches;
+  into.feasibility_checks <- into.feasibility_checks + c.feasibility_checks
+
+let is_zero c =
+  c.paths_scored = 0 && c.dp_cells = 0 && c.bb_nodes = 0
+  && c.detour_searches = 0
+  && c.feasibility_checks = 0
+
+let equal a b =
+  a.paths_scored = b.paths_scored
+  && a.dp_cells = b.dp_cells
+  && a.bb_nodes = b.bb_nodes
+  && a.detour_searches = b.detour_searches
+  && a.feasibility_checks = b.feasibility_checks
+
+let pp ppf c =
+  if is_zero c then Format.pp_print_string ppf "-"
+  else begin
+    let first = ref true in
+    let field name v =
+      if v <> 0 then begin
+        if not !first then Format.pp_print_char ppf ' ';
+        first := false;
+        Format.fprintf ppf "%s=%d" name v
+      end
+    in
+    field "paths" c.paths_scored;
+    field "dp" c.dp_cells;
+    field "bb" c.bb_nodes;
+    field "detours" c.detour_searches;
+    field "evals" c.feasibility_checks
+  end
+
+let span_hook : (string -> unit -> unit) option Atomic.t = Atomic.make None
+let set_span_hook h = Atomic.set span_hook h
+
+let with_span name f =
+  match Atomic.get span_hook with
+  | None -> f ()
+  | Some hook -> (
+      let finish = hook name in
+      match f () with
+      | v ->
+          finish ();
+          v
+      | exception e ->
+          finish ();
+          raise e)

@@ -70,6 +70,12 @@ let make_state ?fault mesh comm =
    caller must then roll back its tentative deletion. *)
 let recompute st =
   let n = Array.length st.steps in
+  (* Two sweeps plus the prune pass touch every slot of the rectangle:
+     account them in one addition instead of three per-slot bumps. *)
+  let m = Metrics.current () in
+  Array.iter
+    (fun slots -> m.Metrics.dp_cells <- m.Metrics.dp_cells + Array.length slots)
+    st.steps;
   let reset a = Array.iteri (fun i _ -> a.(i) <- false) a in
   Array.iter reset st.fwd;
   Array.iter reset st.bwd;
@@ -161,6 +167,8 @@ let surviving_paths ~limit mesh st =
     if !count >= limit then ()
     else if k = n then begin
       incr count;
+      let m = Metrics.current () in
+      m.Metrics.paths_scored <- m.Metrics.paths_scored + 1;
       results := Noc.Path.of_cores (Array.of_list (List.rev acc)) :: !results
     end
     else
@@ -219,10 +227,12 @@ let extract_path loads st =
     Array.init (n + 1) (fun k -> Array.make (max 1 (step_width rect k)) None)
   in
   cost.(n).(0) <- 0.;
+  let relaxed = ref 0 in
   for k = n - 1 downto 0 do
     Array.iter
       (fun s ->
         if s.allowed then begin
+          incr relaxed;
           (* Planned effective occupancy (load + rate) / phi; every path of
              the rectangle has the same hop count, so without a fault the
              added rate shifts all candidates equally and the extraction is
@@ -247,6 +257,9 @@ let extract_path loads st =
         end)
       st.steps.(k)
   done;
+  let m = Metrics.current () in
+  m.Metrics.dp_cells <- m.Metrics.dp_cells + !relaxed;
+  m.Metrics.paths_scored <- m.Metrics.paths_scored + 1;
   let mesh_of_id = Noc.Load.mesh loads in
   let cores = Array.make (n + 1) st.comm.Traffic.Communication.src in
   let pos = ref 0 in

@@ -113,6 +113,8 @@ let detour fault mesh ~src ~snk =
   end
 
 let reroute fault model loads (comm : Traffic.Communication.t) =
+  let m = Metrics.current () in
+  m.Metrics.detour_searches <- m.Metrics.detour_searches + 1;
   match manhattan_usable fault model loads comm with
   | Some p ->
       Noc.Load.add_path loads p comm.rate;

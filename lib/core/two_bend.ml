@@ -13,6 +13,8 @@ let best_candidate model loads (comm : Traffic.Communication.t) =
   match candidates with
   | [] -> assert false
   | first :: rest ->
+      let m = Metrics.current () in
+      m.Metrics.paths_scored <- m.Metrics.paths_scored + List.length candidates;
       let cost = added_cost model loads comm.rate in
       let best, _ =
         List.fold_left

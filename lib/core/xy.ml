@@ -1,7 +1,9 @@
 let route_with make_path mesh comms =
+  let m = Metrics.current () in
   Solution.make mesh
     (List.map
        (fun (c : Traffic.Communication.t) ->
+         m.Metrics.paths_scored <- m.Metrics.paths_scored + 1;
          Solution.route_single c (make_path ~src:c.src ~snk:c.snk))
        comms)
 

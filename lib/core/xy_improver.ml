@@ -118,6 +118,8 @@ let improve_in_place mesh model ~max_moves comms paths loads =
               match divert p link with
               | None -> ()
               | Some np ->
+                  let m = Metrics.current () in
+                  m.Metrics.paths_scored <- m.Metrics.paths_scored + 1;
                   let rate = comms.(i).Traffic.Communication.rate in
                   let delta = move_delta model loads rate p np in
                   let better =

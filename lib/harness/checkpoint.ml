@@ -9,6 +9,7 @@ type cell = {
   mean_power : float option;
   mean_detour_hops : float;
   error_example : string option;
+  counters : Routing.Metrics.counters;
 }
 
 let magic = "row"
@@ -52,6 +53,11 @@ let line key ~x cells =
              opt_float_field c.mean_power;
              float_field c.mean_detour_hops;
              msg_field c.error_example;
+             string_of_int c.counters.Routing.Metrics.paths_scored;
+             string_of_int c.counters.Routing.Metrics.dp_cells;
+             string_of_int c.counters.Routing.Metrics.bb_nodes;
+             string_of_int c.counters.Routing.Metrics.detour_searches;
+             string_of_int c.counters.Routing.Metrics.feasibility_checks;
            ]))
     cells;
   Buffer.contents buf
@@ -93,11 +99,48 @@ let parse_msg s =
     | exception _ -> None
   else None
 
+let parse_counters p d b ds fc =
+  match
+    ( int_of_string_opt p,
+      int_of_string_opt d,
+      int_of_string_opt b,
+      int_of_string_opt ds,
+      int_of_string_opt fc )
+  with
+  | Some paths_scored, Some dp_cells, Some bb_nodes, Some detour_searches,
+    Some feasibility_checks ->
+      Some
+        {
+          Routing.Metrics.paths_scored;
+          dp_cells;
+          bb_nodes;
+          detour_searches;
+          feasibility_checks;
+        }
+  | _ -> None
+
 let parse_cells n fields =
+  (* Checkpoints written before the telemetry layer carry 8 fields per
+     cell; newer ones carry 13 (five counter ints appended). Same magic,
+     same version: the arity is read off the total field count, so old
+     resume files keep loading — with zero counters. *)
+  let with_counters =
+    match List.length fields with
+    | len when n > 0 && len = n * 13 -> true
+    | len when len = n * 8 -> false
+    | _ -> true (* wrong shape either way; fail in the loop below *)
+  in
   let rec go acc k = function
     | [] when k = 0 -> Some (List.rev acc)
     | name :: fail :: err :: norm :: stderr :: power :: detour :: msg :: tl
       when k > 0 -> (
+        let counters, tl =
+          if not with_counters then (Some (Routing.Metrics.zero ()), tl)
+          else
+            match tl with
+            | p :: d :: b :: ds :: fc :: tl -> (parse_counters p d b ds fc, tl)
+            | _ -> (None, tl)
+        in
         match
           ( parse_float fail,
             parse_float err,
@@ -105,7 +148,8 @@ let parse_cells n fields =
             parse_float stderr,
             parse_opt_float power,
             parse_float detour,
-            parse_msg msg )
+            parse_msg msg,
+            counters )
         with
         | ( Some failure_ratio,
             Some error_ratio,
@@ -113,7 +157,8 @@ let parse_cells n fields =
             Some norm_stderr,
             Some mean_power,
             Some mean_detour_hops,
-            Some error_example ) ->
+            Some error_example,
+            Some counters ) ->
             go
               ({
                  name;
@@ -124,6 +169,7 @@ let parse_cells n fields =
                  mean_power;
                  mean_detour_hops;
                  error_example;
+                 counters;
                }
               :: acc)
               (k - 1) tl

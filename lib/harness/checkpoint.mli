@@ -25,6 +25,12 @@ type cell = {
   mean_power : float option;
   mean_detour_hops : float;
   error_example : string option;
+  counters : Routing.Metrics.counters;
+      (** Work-counter totals over the cell's trials. Serialized as five
+          integer fields appended to the cell; checkpoints written before
+          these fields existed still load (same magic and version — the
+          parser reads the arity off the field count) and come back with
+          all-zero counters. *)
 }
 (** Serialized form of one [Runner.stats] cell. *)
 

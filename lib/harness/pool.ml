@@ -1,17 +1,38 @@
+(* Warn once per process, not once per call: campaigns consult
+   [default_jobs] per figure. *)
+let jobs_warned = Atomic.make false
+
 let default_jobs () =
   match Sys.getenv_opt "MANROUTE_JOBS" with
   | Some s -> (
       match int_of_string_opt s with
       | Some n when n > 0 -> n
-      | _ -> Domain.recommended_domain_count ())
+      | _ ->
+          let fallback = Domain.recommended_domain_count () in
+          if not (Atomic.exchange jobs_warned true) then
+            Printf.eprintf
+              "manroute: warning: ignoring invalid MANROUTE_JOBS=%S (want a \
+               positive integer); using %d domains\n\
+               %!"
+              s fallback;
+          fallback)
   | None -> Domain.recommended_domain_count ()
 
-let map ?jobs n f =
+let map ?tick ?jobs n f =
   if n <= 0 then [||]
   else
     let jobs =
       let j = match jobs with Some j -> j | None -> default_jobs () in
       max 1 (min j n)
+    in
+    let f =
+      match tick with
+      | None -> f
+      | Some tick ->
+          fun i ->
+            let v = f i in
+            tick ();
+            v
     in
     if jobs = 1 then Array.init n f
     else begin
@@ -48,5 +69,6 @@ let map ?jobs n f =
       Array.map (function Some v -> v | None -> assert false) results
     end
 
-let map_result ?jobs n f =
-  map ?jobs n (fun i -> try Ok (f i) with e -> Error (Printexc.to_string e))
+let map_result ?tick ?jobs n f =
+  map ?tick ?jobs n
+    (fun i -> try Ok (f i) with e -> Error (Printexc.to_string e))

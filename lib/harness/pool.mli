@@ -9,9 +9,12 @@
 
 val default_jobs : unit -> int
 (** The [MANROUTE_JOBS] environment variable when it parses as a positive
-    integer, else [Domain.recommended_domain_count ()]. *)
+    integer, else [Domain.recommended_domain_count ()]. A set-but-invalid
+    value falls back to the recommendation with a warning on stderr (once
+    per process) rather than silently, mirroring
+    {!Runner.default_trials}. *)
 
-val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
+val map : ?tick:(unit -> unit) -> ?jobs:int -> int -> (int -> 'a) -> 'a array
 (** [map n f] is [[| f 0; ...; f (n-1) |]], evaluated by up to [jobs]
     domains (default {!default_jobs}, clamped to [n]). [f] must not mutate
     shared state; each index is evaluated exactly once, on exactly one
@@ -19,9 +22,14 @@ val map : ?jobs:int -> int -> (int -> 'a) -> 'a array
     degenerates to [Array.init].
 
     If some [f i] raises, the first exception is re-raised in the caller
-    after every worker has stopped; remaining chunks are abandoned. *)
+    after every worker has stopped; remaining chunks are abandoned.
 
-val map_result : ?jobs:int -> int -> (int -> 'a) -> ('a, string) result array
+    [tick] is called on the worker after each index completes (successful
+    [f i] only) — the hook live-progress displays hang their atomic
+    counters on. It must be domain-safe and cheap. *)
+
+val map_result :
+  ?tick:(unit -> unit) -> ?jobs:int -> int -> (int -> 'a) -> ('a, string) result array
 (** Like {!map}, but each index's exception is caught on its worker and
     returned as [Error (Printexc.to_string e)] in that index's slot, so one
     bad index cannot abandon the rest of the campaign. The result array is

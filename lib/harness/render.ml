@@ -24,6 +24,9 @@ let csv (r : Runner.result) =
     (fun name ->
       Buffer.add_string buf
         (Printf.sprintf ",%s_norm,%s_stderr,%s_fail,%s_err,%s_detour" name name
+           name name name);
+      Buffer.add_string buf
+        (Printf.sprintf ",%s_paths,%s_dp,%s_bb,%s_reroutes,%s_evals" name name
            name name name))
     names;
   Buffer.add_char buf '\n';
@@ -34,7 +37,13 @@ let csv (r : Runner.result) =
         (fun (_, (s : Runner.stats)) ->
           Buffer.add_string buf
             (Printf.sprintf ",%.6f,%.6f,%.6f,%.6f,%.6f" s.norm_inv_power
-               s.norm_stderr s.failure_ratio s.error_ratio s.mean_detour_hops))
+               s.norm_stderr s.failure_ratio s.error_ratio s.mean_detour_hops);
+          let c = s.counters in
+          Buffer.add_string buf
+            (Printf.sprintf ",%d,%d,%d,%d,%d" c.Routing.Metrics.paths_scored
+               c.Routing.Metrics.dp_cells c.Routing.Metrics.bb_nodes
+               c.Routing.Metrics.detour_searches
+               c.Routing.Metrics.feasibility_checks))
         row.cells;
       Buffer.add_char buf '\n')
     r.rows;

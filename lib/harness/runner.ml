@@ -6,6 +6,7 @@ type stats = {
   mean_power : float option;
   mean_detour_hops : float;
   error_example : string option;
+  counters : Routing.Metrics.counters;
 }
 
 type row = { x : float; cells : (string * stats) list }
@@ -49,6 +50,13 @@ type contribution =
 
 type trial = {
   contribs : (string * contribution) list;
+  work : (string * Routing.Metrics.counters) list;
+      (** Work-counter deltas, same names and order as [contribs]:
+          per-heuristic for the heuristic cells, the whole-trial delta for
+          BEST. A trial runs entirely on one domain, so snapshot
+          differences are exact — and the work a trial does is a function
+          of its rng key alone, so these are jobs-invariant like
+          everything else. *)
   obs : Summary.obs option;
       (** [None] when anything raised: a trial with a missing or partial
           outcome set would skew the Section 6.4 aggregates. *)
@@ -60,9 +68,18 @@ let cell_names heuristics =
   @ [ "BEST" ]
 
 let errored_trial ~names msg =
-  { contribs = List.map (fun name -> (name, Errored msg)) names; obs = None }
+  {
+    contribs = List.map (fun name -> (name, Errored msg)) names;
+    work = List.map (fun name -> (name, Routing.Metrics.zero ())) names;
+    obs = None;
+  }
 
 let run_trial ~model ~heuristics ~figure ~x ~seed t =
+  Telemetry.span ~cat:"trial"
+    ~args:[ ("trial", string_of_int t); ("x", Printf.sprintf "%g" x) ]
+    "trial"
+  @@ fun () ->
+  let trial_before = Routing.Metrics.snapshot () in
   (* Fault-sweep figures pair their trials across x: the rng is keyed by
      the trial alone, so trial [t] draws the same communications at every
      x, and scenario generators that sample kills sequentially (e.g.
@@ -83,22 +100,33 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
   | Error msg -> errored_trial ~names:(cell_names heuristics) msg
   | Ok (comms, fault) ->
       let times = ref [] in
+      let counts = ref [] in
       let attempts =
         List.map
           (fun (h : Routing.Heuristic.t) ->
+            Telemetry.span ~cat:"heuristic" h.name @@ fun () ->
+            let before = Routing.Metrics.snapshot () in
+            let delta () =
+              Routing.Metrics.diff (Routing.Metrics.snapshot ()) before
+            in
             let t0 = now_s () in
             match
               let solution = h.run ?fault model Figure.mesh comms in
               {
                 Routing.Best.heuristic = h;
                 solution;
-                report = Routing.Evaluate.solution ?fault model solution;
+                report =
+                  Telemetry.span ~cat:"evaluate" "evaluate" (fun () ->
+                      Routing.Evaluate.solution ?fault model solution);
               }
             with
             | outcome ->
                 times := (h.name, now_s () -. t0) :: !times;
+                counts := (h.name, delta ()) :: !counts;
                 (h.name, Ok outcome)
-            | exception e -> (h.name, Error (Printexc.to_string e)))
+            | exception e ->
+                counts := (h.name, delta ()) :: !counts;
+                (h.name, Error (Printexc.to_string e)))
           heuristics
       in
       let outcomes =
@@ -136,11 +164,24 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
             );
           ]
       in
+      let work =
+        List.map
+          (fun (h : Routing.Heuristic.t) ->
+            (h.Routing.Heuristic.name, List.assoc h.name !counts))
+          heuristics
+        @ [
+            (* The BEST cell gets the whole trial: heuristics plus
+               workload/fault generation, repair and evaluation. *)
+            ( "BEST",
+              Routing.Metrics.diff (Routing.Metrics.snapshot ()) trial_before
+            );
+          ]
+      in
       let obs =
         if List.exists (fun (_, r) -> Result.is_error r) attempts then None
-        else Some (Summary.observation ~outcomes ~best ~times:!times)
+        else Some (Summary.observation ~outcomes ~best ~times:!times ~counters:work)
       in
-      { contribs; obs }
+      { contribs; work; obs }
 
 type cell_acc = {
   fails : int;
@@ -151,9 +192,13 @@ type cell_acc = {
   power_sum : float;
   power_n : int;
   detour_sum : int;
+  work : Routing.Metrics.counters;
+      (* Mutable block accumulated in place across the functional updates
+         below — which is why this must be a function, not a shared
+         constant: each cell needs its own block. *)
 }
 
-let cell_zero =
+let cell_zero () =
   {
     fails = 0;
     errors = 0;
@@ -163,6 +208,7 @@ let cell_zero =
     power_sum = 0.;
     power_n = 0;
     detour_sum = 0;
+    work = Routing.Metrics.zero ();
   }
 
 let cell_add c = function
@@ -200,6 +246,7 @@ let stats_of_cell ~trials c =
       (if c.power_n = 0 then 0.
        else float_of_int c.detour_sum /. float_of_int c.power_n);
     error_example = c.error_example;
+    counters = c.work;
   }
 
 let stats_of_checkpoint (c : Checkpoint.cell) =
@@ -211,6 +258,7 @@ let stats_of_checkpoint (c : Checkpoint.cell) =
     mean_power = c.mean_power;
     mean_detour_hops = c.mean_detour_hops;
     error_example = c.error_example;
+    counters = c.counters;
   }
 
 let checkpoint_of_stats (name, s) =
@@ -223,10 +271,12 @@ let checkpoint_of_stats (name, s) =
     mean_power = s.mean_power;
     mean_detour_hops = s.mean_detour_hops;
     error_example = s.error_example;
+    counters = s.counters;
   }
 
 let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
-    ?(heuristics = Routing.Heuristic.all) ?jobs ?summary ?checkpoint figure =
+    ?(heuristics = Routing.Heuristic.all) ?jobs ?summary ?checkpoint ?progress
+    figure =
   let trials = match trials with Some t -> t | None -> default_trials () in
   let names = cell_names heuristics in
   let key =
@@ -240,10 +290,21 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
     | Some path -> List.rev (Checkpoint.load ~path key)
   in
   let rows =
+    Telemetry.span ~cat:"campaign"
+      ~args:[ ("figure", figure.Figure.id) ]
+      "campaign"
+    @@ fun () ->
     List.map
       (fun x ->
         match List.assoc_opt x resumed with
         | Some cells ->
+            (* Checkpoint-credited trials did no work this run: [advance]
+               keeps them out of the progress line's ETA rate. *)
+            (match progress with
+            | Some p ->
+                Telemetry.Progress.advance p trials;
+                Telemetry.Progress.row p
+            | None -> ());
             {
               x;
               cells =
@@ -252,24 +313,49 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
                   cells;
             }
         | None ->
+            Telemetry.span ~cat:"row"
+              ~args:[ ("x", Printf.sprintf "%g" x) ]
+              "row"
+            @@ fun () ->
+            let f = run_trial ~model ~heuristics ~figure ~x ~seed in
+            let f =
+              match progress with
+              | None -> f
+              | Some p ->
+                  fun i ->
+                    let t = f i in
+                    (* [obs = None] exactly when something raised. *)
+                    if t.obs = None then Telemetry.Progress.error p;
+                    t
+            in
             let results =
-              Pool.map_result ?jobs trials
-                (run_trial ~model ~heuristics ~figure ~x ~seed)
+              Pool.map_result ?jobs
+                ?tick:
+                  (Option.map
+                     (fun p () -> Telemetry.Progress.tick p)
+                     progress)
+                trials f
             in
             let cells =
               Array.fold_left
                 (fun cells trial ->
-                  let contribs =
+                  let contribs, work =
                     match trial with
-                    | Ok t -> t.contribs
-                    | Error msg -> List.map (fun n -> (n, Errored msg)) names
+                    | Ok t -> (t.contribs, t.work)
+                    | Error msg ->
+                        ( List.map (fun n -> (n, Errored msg)) names,
+                          List.map
+                            (fun n -> (n, Routing.Metrics.zero ()))
+                            names )
                   in
                   List.map2
-                    (fun (name, c) (name', contrib) ->
+                    (fun (name, c) ((name', contrib), (_, w)) ->
                       assert (name = name');
+                      Routing.Metrics.add ~into:c.work w;
                       (name, cell_add c contrib))
-                    cells contribs)
-                (List.map (fun name -> (name, cell_zero)) names)
+                    cells
+                    (List.combine contribs work))
+                (List.map (fun name -> (name, cell_zero ())) names)
                 results
             in
             (match summary with
@@ -289,6 +375,9 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
             | Some path ->
                 Checkpoint.append ~path key ~x
                   (List.map checkpoint_of_stats cells)
+            | None -> ());
+            (match progress with
+            | Some p -> Telemetry.Progress.row p
             | None -> ());
             { x; cells })
       figure.Figure.xs

@@ -30,6 +30,13 @@ type stats = {
           healthy mesh). *)
   error_example : string option;
       (** The first error message observed, when [error_ratio > 0]. *)
+  counters : Routing.Metrics.counters;
+      (** {!Routing.Metrics} work totals over the cell's trials —
+          per-heuristic work for heuristic cells, the whole trial
+          (generation, every heuristic, repair, evaluation) for BEST.
+          Deterministic and jobs-invariant like the statistics: a trial's
+          work is a function of its rng key, measured as a snapshot
+          difference on the one domain that ran it. *)
 }
 
 type row = { x : float; cells : (string * stats) list }
@@ -61,6 +68,7 @@ val run :
   ?jobs:int ->
   ?summary:Summary.acc ->
   ?checkpoint:string ->
+  ?progress:Telemetry.Progress.t ->
   Figure.t ->
   result
 (** Defaults: {!default_trials} trials, seed 1, the paper's
@@ -92,4 +100,12 @@ val run :
     completed row is appended immediately, and rows already present for
     this exact (figure, seed, trials) key are reused instead of recomputed
     — bit-identical to a fresh run thanks to hex-float round-tripping.
-    Resumed rows are not folded into [summary]. *)
+    Resumed rows are not folded into [summary].
+
+    [progress] hooks a live display: each completed trial ticks it from
+    the worker that ran it, each completed row bumps its row count, each
+    errored trial its error count, and checkpoint-resumed rows credit
+    their trials with {!Telemetry.Progress.advance} (kept out of the ETA
+    rate). When a {!Telemetry} sink is installed, the whole campaign, each
+    computed row, each trial and each heuristic run is additionally
+    recorded as a span. Neither affects the statistics. *)

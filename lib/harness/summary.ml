@@ -1,28 +1,3 @@
-type per_h = {
-  mutable succ : int;
-  mutable inv_sum : float;
-  mutable time_s : float;
-  mutable timed : int;
-}
-
-type acc = {
-  mutable instances : int;
-  table : (string, per_h) Hashtbl.t;
-  mutable static_sum : float;
-  mutable static_n : int;
-}
-
-let create () =
-  { instances = 0; table = Hashtbl.create 8; static_sum = 0.; static_n = 0 }
-
-let entry acc name =
-  match Hashtbl.find_opt acc.table name with
-  | Some e -> e
-  | None ->
-      let e = { succ = 0; inv_sum = 0.; time_s = 0.; timed = 0 } in
-      Hashtbl.add acc.table name e;
-      e
-
 (* Immutable record of one instance, computed where the instance ran (any
    worker domain) and folded into an [acc] wherever convenient. *)
 type obs = {
@@ -31,9 +6,22 @@ type obs = {
          name without counting a success. *)
   o_static : float option; (* static/total of feasible BEST *)
   o_times : (string * float) list;
+  o_counters : (string * Routing.Metrics.counters) list;
+      (* Per-heuristic work-counter deltas (see {!Routing.Metrics}). *)
 }
 
-let observation ~outcomes ~best ~times =
+(* The accumulator RETAINS its observations (most recent first) instead of
+   folding floats as they arrive: {!add} is a cons, {!merge} a
+   concatenation, and every float sum happens in {!finalize}, sequentially
+   in observation order. That is what makes sharded accumulate-then-merge
+   bit-identical to a sequential fold — float addition is not associative,
+   so summing early would tie the result to the worker count. Retention is
+   also what buys exact runtime quantiles. *)
+type acc = { mutable obs_rev : obs list; mutable count : int }
+
+let create () = { obs_rev = []; count = 0 }
+
+let observation ~outcomes ~best ~times ~counters =
   let cell (o : Routing.Best.outcome) =
     ( o.heuristic.Routing.Heuristic.name,
       if o.report.Routing.Evaluate.feasible then
@@ -53,46 +41,31 @@ let observation ~outcomes ~best ~times =
     o_cells = List.map cell outcomes @ [ ("BEST", best_cell) ];
     o_static;
     o_times = times;
+    o_counters = counters;
   }
 
 let add acc obs =
-  acc.instances <- acc.instances + 1;
-  List.iter
-    (fun (name, inv) ->
-      let e = entry acc name in
-      match inv with
-      | Some v ->
-          e.succ <- e.succ + 1;
-          e.inv_sum <- e.inv_sum +. v
-      | None -> ())
-    obs.o_cells;
-  (match obs.o_static with
-  | Some frac ->
-      acc.static_sum <- acc.static_sum +. frac;
-      acc.static_n <- acc.static_n + 1
-  | None -> ());
-  List.iter
-    (fun (name, s) ->
-      let e = entry acc name in
-      e.time_s <- e.time_s +. s;
-      e.timed <- e.timed + 1)
-    obs.o_times
+  acc.obs_rev <- obs :: acc.obs_rev;
+  acc.count <- acc.count + 1
 
-let observe acc ~outcomes ~best ~times =
-  add acc (observation ~outcomes ~best ~times)
+let observe acc ~outcomes ~best ~times ~counters =
+  add acc (observation ~outcomes ~best ~times ~counters)
 
+(* [src]'s observations fold AFTER [into]'s existing ones — the documented
+   merge order. Feeding per-worker accumulators shard 0, 1, ... into the
+   same [into] therefore reproduces the sequential trial order exactly. *)
 let merge ~into src =
-  into.instances <- into.instances + src.instances;
-  Hashtbl.iter
-    (fun name (e : per_h) ->
-      let d = entry into name in
-      d.succ <- d.succ + e.succ;
-      d.inv_sum <- d.inv_sum +. e.inv_sum;
-      d.time_s <- d.time_s +. e.time_s;
-      d.timed <- d.timed + e.timed)
-    src.table;
-  into.static_sum <- into.static_sum +. src.static_sum;
-  into.static_n <- into.static_n + src.static_n
+  into.obs_rev <- src.obs_rev @ into.obs_rev;
+  into.count <- into.count + src.count
+
+type per_h = {
+  mutable succ : int;
+  mutable inv_sum : float;
+  mutable time_s : float;
+  mutable times_rev : float list;
+  mutable timed : int;
+  work : Routing.Metrics.counters;
+}
 
 type t = {
   instances : int;
@@ -101,22 +74,74 @@ type t = {
   inverse_power_vs_xy : (string * float) list;
   static_fraction : float;
   mean_runtime_ms : (string * float) list;
+  runtime_quantiles_ms : (string * (float * float)) list;
+  counters : (string * Routing.Metrics.counters) list;
 }
 
 let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "BEST" ]
 
+(* Nearest-rank quantile on the retained runtimes: exact, no
+   interpolation, deterministic for a fixed observation order. *)
+let quantile sorted p =
+  let n = Array.length sorted in
+  sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
 let finalize (acc : acc) =
-  let n = float_of_int (max 1 acc.instances) in
-  let names =
-    List.filter (fun name -> Hashtbl.mem acc.table name) order
+  let table : (string, per_h) Hashtbl.t = Hashtbl.create 8 in
+  let entry name =
+    match Hashtbl.find_opt table name with
+    | Some e -> e
+    | None ->
+        let e =
+          {
+            succ = 0;
+            inv_sum = 0.;
+            time_s = 0.;
+            times_rev = [];
+            timed = 0;
+            work = Routing.Metrics.zero ();
+          }
+        in
+        Hashtbl.add table name e;
+        e
   in
-  let per f = List.map (fun name -> (name, f (Hashtbl.find acc.table name))) names in
+  let static_sum = ref 0. and static_n = ref 0 in
+  List.iter
+    (fun obs ->
+      List.iter
+        (fun (name, inv) ->
+          let e = entry name in
+          match inv with
+          | Some v ->
+              e.succ <- e.succ + 1;
+              e.inv_sum <- e.inv_sum +. v
+          | None -> ())
+        obs.o_cells;
+      (match obs.o_static with
+      | Some frac ->
+          static_sum := !static_sum +. frac;
+          incr static_n
+      | None -> ());
+      List.iter
+        (fun (name, s) ->
+          let e = entry name in
+          e.time_s <- e.time_s +. s;
+          e.times_rev <- s :: e.times_rev;
+          e.timed <- e.timed + 1)
+        obs.o_times;
+      List.iter
+        (fun (name, c) -> Routing.Metrics.add ~into:(entry name).work c)
+        obs.o_counters)
+    (List.rev acc.obs_rev);
+  let n = float_of_int (max 1 acc.count) in
+  let names = List.filter (fun name -> Hashtbl.mem table name) order in
+  let per f = List.map (fun name -> (name, f (Hashtbl.find table name))) names in
   let mean_inv = per (fun e -> e.inv_sum /. n) in
   let xy_inv =
     match List.assoc_opt "XY" mean_inv with Some v -> v | None -> 0.
   in
   {
-    instances = acc.instances;
+    instances = acc.count;
     success_ratio = per (fun e -> float_of_int e.succ /. n);
     mean_inverse_power = mean_inv;
     inverse_power_vs_xy =
@@ -124,14 +149,34 @@ let finalize (acc : acc) =
          List.map (fun (name, v) -> (name, v /. xy_inv)) mean_inv
        else []);
     static_fraction =
-      (if acc.static_n = 0 then Float.nan
-       else acc.static_sum /. float_of_int acc.static_n);
+      (if !static_n = 0 then Float.nan
+       else !static_sum /. float_of_int !static_n);
     mean_runtime_ms =
       List.filter_map
         (fun name ->
-          let e = Hashtbl.find acc.table name in
+          let e = Hashtbl.find table name in
           if e.timed = 0 then None
           else Some (name, 1000. *. e.time_s /. float_of_int e.timed))
+        names;
+    runtime_quantiles_ms =
+      List.filter_map
+        (fun name ->
+          let e = Hashtbl.find table name in
+          if e.timed = 0 then None
+          else begin
+            let sorted = Array.of_list e.times_rev in
+            Array.sort Float.compare sorted;
+            Some
+              ( name,
+                (1000. *. quantile sorted 0.5, 1000. *. quantile sorted 0.95)
+              )
+          end)
+        names;
+    counters =
+      List.filter_map
+        (fun name ->
+          let e = Hashtbl.find table name in
+          if Routing.Metrics.is_zero e.work then None else Some (name, e.work))
         names;
   }
 
@@ -147,6 +192,20 @@ let pp ppf t =
   block "success ratio" t.success_ratio;
   block "inverse power vs XY" t.inverse_power_vs_xy;
   block "mean runtime (ms)" t.mean_runtime_ms;
+  if t.runtime_quantiles_ms <> [] then begin
+    Format.fprintf ppf "runtime p50/p95 (ms):@,";
+    List.iter
+      (fun (name, (p50, p95)) ->
+        Format.fprintf ppf "  %-5s %6.3f / %6.3f@," name p50 p95)
+      t.runtime_quantiles_ms
+  end;
+  if t.counters <> [] then begin
+    Format.fprintf ppf "work counters (totals):@,";
+    List.iter
+      (fun (name, c) ->
+        Format.fprintf ppf "  %-5s %a@," name Routing.Metrics.pp c)
+      t.counters
+  end;
   if not (Float.is_nan t.static_fraction) then
     Format.fprintf ppf "static power fraction of BEST: %.3f (paper: ~1/7)@,"
       t.static_fraction;

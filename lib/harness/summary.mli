@@ -2,7 +2,17 @@
     paper reports in Section 6.4: per-heuristic success rates (XY about 15%,
     XYI 46%, PR 50%, BEST 51%), mean-inverse-power ratios over XY (XYI about
     2.44x, PR 2.57x, BEST 2.95x), the static fraction of the total power
-    (about 1/7), and heuristic runtimes. *)
+    (about 1/7), and heuristic runtimes — plus, new with the telemetry
+    layer, exact runtime quantiles and the {!Routing.Metrics} work-counter
+    totals.
+
+    Determinism contract: the accumulator {e retains} its observations and
+    performs every floating-point sum in {!finalize}, folding observations
+    in the order defined by {!add} and {!merge} (all of [into]'s, then all
+    of [src]'s). Accumulating shards on worker accumulators and merging
+    them in shard order therefore yields bit-identical results to one
+    sequential accumulator fed in trial order — see the property test in
+    [test/test_harness.ml]. *)
 
 type acc
 (** Mutable accumulator; feed it the outcomes of every instance. Not
@@ -19,24 +29,29 @@ val observation :
   outcomes:Routing.Best.outcome list ->
   best:Routing.Best.outcome option ->
   times:(string * float) list ->
+  counters:(string * Routing.Metrics.counters) list ->
   obs
-(** Capture one instance: the per-heuristic outcomes, the BEST outcome, and
-    per-heuristic wall-clock seconds. *)
+(** Capture one instance: the per-heuristic outcomes, the BEST outcome,
+    per-heuristic wall-clock seconds, and per-heuristic work-counter
+    deltas (captured with {!Routing.Metrics.snapshot}/[diff] on the worker
+    that ran the instance). *)
 
 val add : acc -> obs -> unit
-(** Fold one observation into the accumulator. *)
+(** Fold one observation into the accumulator (a cons — no float math
+    happens until {!finalize}). *)
 
 val merge : into:acc -> acc -> unit
-(** [merge ~into src] adds every counter of [src] to [into]. Associative
-    over integer counters; float sums are exact only for a fixed merge
-    order, so merge accumulators in a deterministic order when bit-stable
-    output matters. *)
+(** [merge ~into src] appends [src]'s observations after [into]'s, in
+    order. Because all float summation is deferred to {!finalize}, merging
+    per-worker accumulators in a fixed shard order is bit-identical to a
+    single sequential fold — including the counter fields. *)
 
 val observe :
   acc ->
   outcomes:Routing.Best.outcome list ->
   best:Routing.Best.outcome option ->
   times:(string * float) list ->
+  counters:(string * Routing.Metrics.counters) list ->
   unit
 (** [add acc (observation ...)] — the sequential convenience path. *)
 
@@ -51,9 +66,17 @@ type t = {
   static_fraction : float;
       (** Mean static/total power over feasible BEST solutions. *)
   mean_runtime_ms : (string * float) list;
+  runtime_quantiles_ms : (string * (float * float)) list;
+      (** Per heuristic, (p50, p95) wall-clock milliseconds — exact
+          nearest-rank quantiles over the retained per-instance runtimes,
+          deterministic under {!merge}. *)
+  counters : (string * Routing.Metrics.counters) list;
+      (** Per-heuristic {!Routing.Metrics} work totals; heuristics whose
+          block is all zero are omitted. *)
 }
 
 val finalize : acc -> t
 
 val pp : Format.formatter -> t -> unit
-(** Renders the Section 6.4 summary table. *)
+(** Renders the Section 6.4 summary table, the runtime quantiles and the
+    work-counter totals. *)

@@ -93,6 +93,8 @@ let route ?(max_nodes = 5_000_000) ?fault model mesh comms =
     end
   in
   branch 0;
+  let m = Metrics.current () in
+  m.Metrics.bb_nodes <- m.Metrics.bb_nodes + !nodes;
   match (!truncated, !best) with
   | false, Some (s, p) -> Optimal (s, p)
   | false, None -> Infeasible

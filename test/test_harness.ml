@@ -442,6 +442,14 @@ let test_checkpoint_corrupt_lines_tolerated () =
       mean_power = None;
       mean_detour_hops = 0.;
       error_example = Some "multi\nline\tmessage";
+      counters =
+        {
+          Routing.Metrics.paths_scored = 7;
+          dp_cells = 42;
+          bb_nodes = 0;
+          detour_searches = 1;
+          feasibility_checks = 3;
+        };
     }
   in
   Harness.Checkpoint.append ~path key ~x:2. [ cell ];
@@ -458,6 +466,298 @@ let test_checkpoint_corrupt_lines_tolerated () =
   | rows ->
       Alcotest.failf "expected exactly the one good row, got %d"
         (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry: env fallbacks, spans + trace files, counters, progress *)
+
+(* Shared helper for the set-but-invalid environment fallbacks:
+   MANROUTE_TRIALS and MANROUTE_JOBS must behave identically — warn on
+   stderr (checked by eye; warn-once for jobs) and fall back, honor valid
+   values. [Unix.putenv] cannot unset, so the empty string (also invalid)
+   restores a variable that was absent. *)
+let with_env var value f =
+  let old = Sys.getenv_opt var in
+  Unix.putenv var value;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv var (match old with Some v -> v | None -> ""))
+    f
+
+let check_env_int_fallback var read ~fallback =
+  List.iter
+    (fun bad ->
+      with_env var bad (fun () ->
+          check_int
+            (Printf.sprintf "%s=%S falls back" var bad)
+            fallback (read ())))
+    [ "not-a-number"; "0"; "-4"; "2.5" ];
+  with_env var "3" (fun () ->
+      check_int (var ^ " valid value honored") 3 (read ()))
+
+let test_env_trials_fallback () =
+  check_env_int_fallback "MANROUTE_TRIALS" Harness.Runner.default_trials
+    ~fallback:150
+
+let test_env_jobs_fallback () =
+  check_env_int_fallback "MANROUTE_JOBS" Harness.Pool.default_jobs
+    ~fallback:(Domain.recommended_domain_count ())
+
+let test_pool_tick_counts_completions () =
+  let ticks = Atomic.make 0 in
+  let a =
+    Harness.Pool.map ~tick:(fun () -> Atomic.incr ticks) ~jobs:4 50 Fun.id
+  in
+  check_int "all results" 50 (Array.length a);
+  check_int "one tick per index" 50 (Atomic.get ticks)
+
+let temp_trace name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let test_trace_spans_nest_and_validate () =
+  let path = temp_trace "manroute_trace_ok.json" in
+  let sink = Harness.Telemetry.create () in
+  check_bool "disabled by default" false (Harness.Telemetry.enabled ());
+  Harness.Telemetry.install sink;
+  Fun.protect ~finally:Harness.Telemetry.uninstall @@ fun () ->
+  check_bool "enabled once installed" true (Harness.Telemetry.enabled ());
+  (* Nested spans from several domains, plus a routing-hook span. *)
+  let v =
+    Harness.Telemetry.span ~cat:"outer" "outer" (fun () ->
+        ignore
+          (Harness.Pool.map ~jobs:3 8 (fun i ->
+               Harness.Telemetry.span ~cat:"inner"
+                 ~args:[ ("i", string_of_int i) ]
+                 "inner"
+                 (fun () -> Routing.Metrics.with_span "hooked" (fun () -> i))));
+        17)
+  in
+  check_int "span returns the value" 17 v;
+  check_bool "events recorded" true (Harness.Telemetry.event_count sink >= 17);
+  let n = Harness.Telemetry.write_file sink path in
+  (match Harness.Telemetry.validate_file path with
+  | Ok m -> check_int "validator counts every event" n m
+  | Error e -> Alcotest.failf "trace rejected: %s" e);
+  Sys.remove path
+
+let test_trace_validator_rejects_garbage () =
+  let reject name text =
+    let path = temp_trace ("manroute_trace_bad_" ^ name ^ ".json") in
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    (match Harness.Telemetry.validate_file path with
+    | Ok _ -> Alcotest.failf "%s should have been rejected" name
+    | Error _ -> ());
+    Sys.remove path
+  in
+  reject "not-json" "hello\n";
+  reject "unbalanced" "[\n{\"name\":\"a\",\"ph\":\"X\"\n";
+  reject "missing-ph" "[\n{\"name\":\"a\",\"ts\":1.0,\"dur\":2.0,\"tid\":0}\n]\n";
+  (* Two same-thread spans that partially overlap cannot come from
+     balanced instrumentation. *)
+  reject "overlap"
+    "[\n\
+     {\"name\":\"a\",\"cat\":\"s\",\"ph\":\"X\",\"ts\":0.0,\"dur\":10.0,\"pid\":1,\"tid\":0},\n\
+     {\"name\":\"b\",\"cat\":\"s\",\"ph\":\"X\",\"ts\":5.0,\"dur\":10.0,\"pid\":1,\"tid\":0}\n\
+     ]\n"
+
+let test_traced_campaign_matches_untraced () =
+  (* Tracing must observe, never perturb: the same campaign with and
+     without a sink yields bit-identical rows, and the trace holds the
+     expected span hierarchy. *)
+  let plain = Harness.Runner.run ~trials:4 ~seed:19 ~jobs:2 tiny_figure in
+  let path = temp_trace "manroute_trace_campaign.json" in
+  let traced =
+    Harness.Telemetry.tracing (Some path) (fun () ->
+        Harness.Runner.run ~trials:4 ~seed:19 ~jobs:2 tiny_figure)
+  in
+  check_bool "tracing does not change statistics" true
+    (rows_equal plain traced);
+  (match Harness.Telemetry.validate_file path with
+  | Ok n ->
+      (* 1 campaign + 2 rows + 8 trials + 48 heuristic + 48 evaluate
+         spans at minimum. *)
+      check_bool "all campaign spans present" true (n >= 107)
+  | Error e -> Alcotest.failf "campaign trace rejected: %s" e);
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  List.iter
+    (fun needle ->
+      check_bool (needle ^ " span present") true
+        (contains_substring text needle))
+    [
+      "\"campaign\""; "\"row\""; "\"trial\""; "\"heuristic\""; "\"evaluate\"";
+      "\"XYI\"";
+    ];
+  Sys.remove path
+
+let test_counters_deterministic_and_plausible () =
+  let r1 = Harness.Runner.run ~trials:6 ~seed:23 ~jobs:1 tiny_figure in
+  let r2 = Harness.Runner.run ~trials:6 ~seed:23 ~jobs:3 tiny_figure in
+  List.iter2
+    (fun (ra : Harness.Runner.row) (rb : Harness.Runner.row) ->
+      List.iter2
+        (fun (na, (sa : Harness.Runner.stats)) (_, (sb : Harness.Runner.stats)) ->
+          check_bool (na ^ " counters jobs-invariant") true
+            (Routing.Metrics.equal sa.counters sb.counters))
+        ra.cells rb.cells)
+    r1.rows r2.rows;
+  List.iter
+    (fun (row : Harness.Runner.row) ->
+      let best = (List.assoc "BEST" row.cells).counters in
+      List.iter
+        (fun (name, (s : Harness.Runner.stats)) ->
+          if name <> "BEST" then begin
+            check_bool (name ^ " scored paths") true
+              (s.counters.Routing.Metrics.paths_scored > 0);
+            check_int (name ^ " one evaluation per trial") 6
+              s.counters.Routing.Metrics.feasibility_checks;
+            check_bool "BEST covers the whole trial" true
+              (best.Routing.Metrics.paths_scored
+              >= s.counters.Routing.Metrics.paths_scored)
+          end)
+        row.cells;
+      check_bool "only PR expands DP cells" true
+        ((List.assoc "PR" row.cells).counters.Routing.Metrics.dp_cells > 0
+        && (List.assoc "XY" row.cells).counters.Routing.Metrics.dp_cells = 0))
+    r1.rows
+
+let test_checkpoint_backcompat_without_counters () =
+  (* A v1 sidecar written before the counter fields must still resume:
+     8-field cells load with all-zero counters. *)
+  let path = temp_checkpoint "manroute_ckpt_legacy.tsv" in
+  let oc = open_out path in
+  output_string oc
+    "row\tv1\ttiny\t1\t2\t0x1p+1\t1\tXY\t0x1p-1\t0x0p+0\t0x1p-2\t0x1p-7\t-\t0x0p+0\t-\n";
+  close_out oc;
+  let key = { Harness.Checkpoint.figure_id = "tiny"; seed = 1; trials = 2 } in
+  (match Harness.Checkpoint.load ~path key with
+  | [ (x, [ c ]) ] ->
+      check_float "legacy x" 2. x;
+      check_float "legacy stats survive" 0.25 c.norm_inv_power;
+      check_bool "legacy counters read as zero" true
+        (Routing.Metrics.is_zero c.counters)
+  | rows -> Alcotest.failf "expected the legacy row, got %d" (List.length rows));
+  Sys.remove path
+
+(* Fabricated observations with hand-picked powers, runtimes and counters:
+   the raw material for the merge-determinism property and the quantile
+   check. *)
+let fabricated_obs i p =
+  let h = List.nth Routing.Heuristic.all (i mod 6) in
+  let solution = Routing.Solution.make Harness.Figure.mesh [] in
+  let report =
+    {
+      Routing.Evaluate.feasible = true;
+      total_power = p;
+      static_power = p /. 7.;
+      dynamic_power = p -. (p /. 7.);
+      active_links = 1;
+      max_load = p;
+      overloaded = [];
+      detour_hops = 0;
+    }
+  in
+  let outcome = { Routing.Best.heuristic = h; solution; report } in
+  Harness.Summary.observation ~outcomes:[ outcome ] ~best:(Some outcome)
+    ~times:[ (h.Routing.Heuristic.name, p /. 1000.) ]
+    ~counters:
+      [
+        ( h.Routing.Heuristic.name,
+          {
+            Routing.Metrics.paths_scored = i + 1;
+            dp_cells = 2 * i;
+            bb_nodes = 0;
+            detour_searches = i mod 3;
+            feasibility_checks = 1;
+          } );
+      ]
+
+let finalized_equal (a : Harness.Summary.t) (b : Harness.Summary.t) =
+  (* Bit-equality on every float, structural on the counter blocks;
+     [static_fraction] needs NaN-tolerant comparison. *)
+  a.instances = b.instances
+  && a.success_ratio = b.success_ratio
+  && a.mean_inverse_power = b.mean_inverse_power
+  && a.inverse_power_vs_xy = b.inverse_power_vs_xy
+  && a.mean_runtime_ms = b.mean_runtime_ms
+  && a.runtime_quantiles_ms = b.runtime_quantiles_ms
+  && a.counters = b.counters
+  && (a.static_fraction = b.static_fraction
+     || (Float.is_nan a.static_fraction && Float.is_nan b.static_fraction))
+
+let prop_summary_merge_bit_stable =
+  QCheck.Test.make ~name:"sharded merge bit-matches sequential fold" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         pair
+           (list_size (int_range 1 40) (float_range 0.1 5000.))
+           (int_range 0 40)))
+    (fun (powers, cut) ->
+      let obs = List.mapi fabricated_obs powers in
+      let cut = min cut (List.length obs) in
+      (* Sequential reference: one accumulator, fed in order. *)
+      let seq = Harness.Summary.create () in
+      List.iter (Harness.Summary.add seq) obs;
+      (* Sharded: two worker accumulators, merged in shard order into a
+         fresh one — the documented deterministic fold. *)
+      let shard0 = Harness.Summary.create ()
+      and shard1 = Harness.Summary.create ()
+      and merged = Harness.Summary.create () in
+      List.iteri
+        (fun i o ->
+          Harness.Summary.add (if i < cut then shard0 else shard1) o)
+        obs;
+      Harness.Summary.merge ~into:merged shard0;
+      Harness.Summary.merge ~into:merged shard1;
+      finalized_equal
+        (Harness.Summary.finalize seq)
+        (Harness.Summary.finalize merged))
+
+let test_summary_quantiles_exact () =
+  (* Ten runtimes 1..10 ms on one heuristic: nearest-rank p50 is the 5th
+     value, p95 the 10th. *)
+  let acc = Harness.Summary.create () in
+  (* [fabricated_obs] records p/1000 seconds, i.e. p milliseconds. *)
+  List.iter
+    (fun ms -> Harness.Summary.add acc (fabricated_obs 0 ms))
+    [ 7.; 2.; 9.; 4.; 1.; 10.; 3.; 8.; 5.; 6. ];
+  let s = Harness.Summary.finalize acc in
+  match s.Harness.Summary.runtime_quantiles_ms with
+  | [ (_, (p50, p95)) ] ->
+      check_float "p50 exact" 5. p50;
+      check_float "p95 exact" 10. p95
+  | q -> Alcotest.failf "expected one quantile entry, got %d" (List.length q)
+
+let test_progress_line_accounting () =
+  let dev_null = open_out (if Sys.win32 then "NUL" else "/dev/null") in
+  let p =
+    Harness.Telemetry.Progress.create ~out:dev_null ~label:"tiny" ~rows:2
+      ~total:20 ()
+  in
+  (* Exercised from several domains like the real campaign does. *)
+  ignore
+    (Harness.Pool.map
+       ~tick:(fun () -> Harness.Telemetry.Progress.tick p)
+       ~jobs:3 10 Fun.id);
+  Harness.Telemetry.Progress.row p;
+  Harness.Telemetry.Progress.error p;
+  Harness.Telemetry.Progress.advance p 10;
+  Harness.Telemetry.Progress.row p;
+  Harness.Telemetry.Progress.finish p;
+  close_out dev_null;
+  (* Flag wiring: CLI wins, else the environment decides. *)
+  check_bool "cli flag enables" true
+    (Harness.Telemetry.progress_enabled ~cli:true ());
+  with_env "MANROUTE_PROGRESS" "1" (fun () ->
+      check_bool "env enables" true (Harness.Telemetry.progress_enabled ()));
+  with_env "MANROUTE_PROGRESS" "0" (fun () ->
+      check_bool "env zero disables" false
+        (Harness.Telemetry.progress_enabled ()))
 
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
@@ -479,6 +779,21 @@ let () =
           quick "map orders results" test_pool_map_orders_results;
           quick "map propagates exceptions" test_pool_map_propagates_exceptions;
           quick "summary merge" test_summary_merge_matches_sequential;
+          quick "tick counts completions" test_pool_tick_counts_completions;
+        ] );
+      ( "telemetry",
+        [
+          quick "env trials fallback" test_env_trials_fallback;
+          quick "env jobs fallback" test_env_jobs_fallback;
+          quick "spans nest and validate" test_trace_spans_nest_and_validate;
+          quick "validator rejects garbage" test_trace_validator_rejects_garbage;
+          quick "traced campaign matches untraced"
+            test_traced_campaign_matches_untraced;
+          quick "counters deterministic" test_counters_deterministic_and_plausible;
+          quick "checkpoint back-compat" test_checkpoint_backcompat_without_counters;
+          quick "quantiles exact" test_summary_quantiles_exact;
+          quick "progress accounting" test_progress_line_accounting;
+          QCheck_alcotest.to_alcotest prop_summary_merge_bit_stable;
         ] );
       ( "render",
         [
