@@ -9,7 +9,8 @@
    Environment: MANROUTE_TRIALS overrides the Monte-Carlo trials per point
    (default 150); MANROUTE_JOBS sets the worker-domain count for the
    Monte-Carlo campaigns (default: the machine's core count) — results are
-   bit-identical for any value; MANROUTE_SKIP_BECHAMEL=1 skips part 2. *)
+   bit-identical for any value; MANROUTE_SKIP_BECHAMEL=1 skips part 2;
+   MANROUTE_BENCH=delta runs only the E21 delta-engine micro-benchmark. *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -625,6 +626,101 @@ let weight_band_ablation () =
       Format.printf "@.")
     [ 100.; 500.; 1000. ]
 
+(* E21: the delta engine's reason to exist — candidate-path scoring
+   throughput. A search loop asks, for each candidate path, "what would
+   the full report be if I routed this?". The full evaluation answers by
+   applying the path to a copy of the loads and rescanning every link
+   from scratch; the delta engine applies it under a mark, reassembles
+   the report from its maintained per-level counts in O(levels), and
+   rolls back — O(path length) total. Both must agree bit-for-bit
+   (checked on every candidate before timing). A second part isolates
+   the per-link marginal-cost lookup, direct computation vs the
+   memoized table. *)
+
+let delta_bench () =
+  section "E21 | Delta engine: candidate-path scoring, full vs delta";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 888 in
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n:40 ~weight:Traffic.Workload.small
+  in
+  (* A realistic committed state: SG's own routing of the workload —
+     feasible, as in the improvement loops where candidate scoring
+     dominates. *)
+  let loads = Routing.Solution.loads (Routing.Simple_greedy.route mesh comms) in
+  let candidates =
+    Array.of_list
+      (List.concat_map
+         (fun (c : Traffic.Communication.t) ->
+           List.map
+             (fun p -> (p, c.Traffic.Communication.rate))
+             (Noc.Path.two_bend_all ~src:c.src ~snk:c.snk))
+         comms)
+  in
+  let d = Routing.Delta.of_loads model loads in
+  let score_full (path, rate) =
+    let copy = Noc.Load.copy loads in
+    Noc.Load.add_path copy path rate;
+    (Routing.Evaluate.of_loads model copy).Routing.Evaluate.total_power
+  in
+  let score_delta (path, rate) =
+    let m = Routing.Delta.mark d in
+    Routing.Delta.add_path d path rate;
+    let p = (Routing.Delta.report d).Routing.Evaluate.total_power in
+    Routing.Delta.rollback d m;
+    p
+  in
+  Array.iter
+    (fun c ->
+      if Int64.bits_of_float (score_full c) <> Int64.bits_of_float (score_delta c)
+      then failwith "delta bench: incremental report disagrees with full")
+    candidates;
+  let throughput score =
+    (* Calibrated timing loop: enough sweeps for a stable CPU-time read. *)
+    let run () =
+      let sweeps = ref 0 and elapsed = ref 0. in
+      let t0 = Sys.time () in
+      while !elapsed < 0.5 do
+        Array.iter (fun c -> ignore (score c)) candidates;
+        incr sweeps;
+        elapsed := Sys.time () -. t0
+      done;
+      float_of_int (!sweeps * Array.length candidates) /. !elapsed
+    in
+    ignore (run ()) (* warm up *);
+    run ()
+  in
+  let ops_full = throughput score_full in
+  let ops_delta = throughput score_delta in
+  Format.printf "  candidate paths per sweep: %d@." (Array.length candidates);
+  Format.printf "  full re-evaluation      : %12.0f paths/s@." ops_full;
+  Format.printf "  delta engine            : %12.0f paths/s@." ops_delta;
+  Format.printf "  speedup: %.2fx@." (ops_delta /. ops_full);
+  (* Part 2: the per-link cost lookup underneath, in isolation. *)
+  let marginal cost (path, rate) =
+    let acc = ref 0. in
+    Noc.Path.iter_links path (fun l ->
+        let before = Noc.Load.get_link loads l in
+        acc := !acc +. cost (before +. rate) -. cost before);
+    !acc
+  in
+  let direct = Power.Model.penalized_cost_capped model ~factor:1. in
+  let table =
+    let tb = Power.Model.table model in
+    Power.Model.table_cost tb ~factor:1.
+  in
+  let checksum cost =
+    Array.fold_left (fun acc c -> acc +. marginal cost c) 0. candidates
+  in
+  if Int64.bits_of_float (checksum direct) <> Int64.bits_of_float (checksum table)
+  then failwith "delta bench: cost backends disagree";
+  let ops_direct = throughput (marginal direct) in
+  let ops_table = throughput (marginal table) in
+  Format.printf
+    "  per-link lookup: direct %.0f paths/s, table %.0f paths/s (%.2fx)@."
+    ops_direct ops_table (ops_table /. ops_direct)
+
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks *)
 
@@ -706,6 +802,13 @@ let bechamel_part () =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* MANROUTE_BENCH=delta: run only the delta-engine micro-benchmark —
+     the CI smoke and quick local perf checks don't need the full
+     reproduction sweep. *)
+  if Sys.getenv_opt "MANROUTE_BENCH" = Some "delta" then begin
+    delta_bench ();
+    exit 0
+  end;
   Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
     (Harness.Runner.default_trials ())
     (Harness.Pool.default_jobs ());
@@ -732,5 +835,6 @@ let () =
   splitting_rescue ();
   mesh_scaling ();
   weight_band_ablation ();
+  delta_bench ();
   if Sys.getenv_opt "MANROUTE_SKIP_BECHAMEL" <> Some "1" then bechamel_part ();
   Format.printf "@.done.@."

@@ -1,5 +1,7 @@
-(* Cost change of replacing [old_p] by [new_p] for [rate] units. *)
-let move_delta model loads rate old_p new_p =
+(* Cost change of replacing [old_p] by [new_p] for [rate] units, scored
+   through the delta engine's memoized cost table (the loads carry no
+   fault, so the capped lookup reduces to the plain penalized cost). *)
+let move_delta sc loads rate old_p new_p =
   let mesh = Noc.Load.mesh loads in
   let changes = Hashtbl.create 32 in
   let bump sign l =
@@ -14,9 +16,7 @@ let move_delta model loads rate old_p new_p =
       if Float.abs d < 1e-12 then acc
       else
         let before = Noc.Load.get loads id in
-        acc
-        +. Power.Model.penalized_cost model (before +. d)
-        -. Power.Model.penalized_cost model before)
+        acc +. Delta.cost sc id (before +. d) -. Delta.cost sc id before)
     changes 0.
 
 (* A local mutation: divert the path around one of its random links; falls
@@ -47,6 +47,7 @@ let anneal rng mesh model comms ~iterations ~t_start ~t_end =
       | None -> assert false)
     comms;
   let loads = Solution.loads start in
+  let sc = Delta.scorer model loads in
   let cost = ref (Evaluate.penalized model loads) in
   (* Temperature scale: a feasibility-independent power magnitude (the
      initial state may carry huge overload penalties that would melt the
@@ -73,7 +74,7 @@ let anneal rng mesh model comms ~iterations ~t_start ~t_end =
     let proposal = mutate rng comms.(i) paths.(i) in
     if not (Noc.Path.equal proposal paths.(i)) then begin
       let rate = comms.(i).Traffic.Communication.rate in
-      let delta = move_delta model loads rate paths.(i) proposal in
+      let delta = move_delta sc loads rate paths.(i) proposal in
       let accept =
         delta <= 0.
         || Traffic.Rng.float rng < Float.exp (-.delta /. !temp)

@@ -17,19 +17,18 @@ let apply_preroute loads comm sign =
 (* Cost of sending [rate] more through a link, on top of its current
    (committed + virtual) load. Penalized so that the bound stays defined
    when the instance is overloaded; capped by the link's fault factor so
-   dead and degraded links repel traffic. *)
-let marginal model loads rate l =
-  Power.Model.penalized_cost_capped model
-    ~factor:(Noc.Load.factor_link loads l)
-    (Noc.Load.get_link loads l +. rate)
+   dead and degraded links repel traffic. Scored through the delta
+   engine's memoized cost table. *)
+let marginal sc rate l =
+  Delta.cost_link sc l (Noc.Load.get_link (Delta.scorer_loads sc) l +. rate)
 
-let cheapest_step model loads rate rect k =
+let cheapest_step sc rate rect k =
   List.fold_left
-    (fun best l -> Float.min best (marginal model loads rate l))
+    (fun best l -> Float.min best (marginal sc rate l))
     infinity
     (Noc.Rect.links_on_step rect k)
 
-let build_path model loads (comm : Traffic.Communication.t) =
+let build_path sc (comm : Traffic.Communication.t) =
   let rect = Traffic.Communication.rect comm in
   let n = Noc.Rect.length rect in
   let rate = comm.rate in
@@ -38,7 +37,7 @@ let build_path model loads (comm : Traffic.Communication.t) =
      taken (the paper's relaxation ignores reachability). *)
   let remainder = Array.make (n + 1) 0. in
   for k = n - 1 downto 0 do
-    remainder.(k) <- remainder.(k + 1) +. cheapest_step model loads rate rect k
+    remainder.(k) <- remainder.(k + 1) +. cheapest_step sc rate rect k
   done;
   let cores = Array.make (n + 1) comm.src in
   for i = 0 to n - 1 do
@@ -47,7 +46,7 @@ let build_path model loads (comm : Traffic.Communication.t) =
       match Noc.Rect.out_links rect here with
       | [ l ] -> l.Noc.Mesh.dst
       | [ a; b ] ->
-          let bound l = marginal model loads rate l +. remainder.(i + 1) in
+          let bound l = marginal sc rate l +. remainder.(i + 1) in
           if bound a <= bound b then a.Noc.Mesh.dst else b.Noc.Mesh.dst
       | _ -> assert false
     in
@@ -60,13 +59,14 @@ let build_path model loads (comm : Traffic.Communication.t) =
 let route ?(order = Traffic.Communication.By_rate_desc) ?fault mesh model
     comms =
   let loads = Noc.Load.create ?fault mesh in
+  let sc = Delta.scorer model loads in
   let sorted = Traffic.Communication.sort order comms in
   List.iter (fun comm -> apply_preroute loads comm 1.) sorted;
   let routes =
     List.map
       (fun comm ->
         apply_preroute loads comm (-1.);
-        let path = build_path model loads comm in
+        let path = build_path sc comm in
         Noc.Load.add_path loads path comm.Traffic.Communication.rate;
         Solution.route_single comm path)
       sorted

@@ -4,6 +4,7 @@ type counters = {
   mutable bb_nodes : int;
   mutable detour_searches : int;
   mutable feasibility_checks : int;
+  mutable delta_evals : int;
 }
 
 let zero () =
@@ -13,6 +14,7 @@ let zero () =
     bb_nodes = 0;
     detour_searches = 0;
     feasibility_checks = 0;
+    delta_evals = 0;
   }
 
 (* One block per domain: increments never contend, and a trial runs
@@ -29,6 +31,7 @@ let snapshot () =
     bb_nodes = c.bb_nodes;
     detour_searches = c.detour_searches;
     feasibility_checks = c.feasibility_checks;
+    delta_evals = c.delta_evals;
   }
 
 let diff a b =
@@ -38,6 +41,7 @@ let diff a b =
     bb_nodes = a.bb_nodes - b.bb_nodes;
     detour_searches = a.detour_searches - b.detour_searches;
     feasibility_checks = a.feasibility_checks - b.feasibility_checks;
+    delta_evals = a.delta_evals - b.delta_evals;
   }
 
 let add ~into c =
@@ -45,12 +49,13 @@ let add ~into c =
   into.dp_cells <- into.dp_cells + c.dp_cells;
   into.bb_nodes <- into.bb_nodes + c.bb_nodes;
   into.detour_searches <- into.detour_searches + c.detour_searches;
-  into.feasibility_checks <- into.feasibility_checks + c.feasibility_checks
+  into.feasibility_checks <- into.feasibility_checks + c.feasibility_checks;
+  into.delta_evals <- into.delta_evals + c.delta_evals
 
 let is_zero c =
   c.paths_scored = 0 && c.dp_cells = 0 && c.bb_nodes = 0
   && c.detour_searches = 0
-  && c.feasibility_checks = 0
+  && c.feasibility_checks = 0 && c.delta_evals = 0
 
 let equal a b =
   a.paths_scored = b.paths_scored
@@ -58,6 +63,7 @@ let equal a b =
   && a.bb_nodes = b.bb_nodes
   && a.detour_searches = b.detour_searches
   && a.feasibility_checks = b.feasibility_checks
+  && a.delta_evals = b.delta_evals
 
 let pp ppf c =
   if is_zero c then Format.pp_print_string ppf "-"
@@ -74,7 +80,8 @@ let pp ppf c =
     field "dp" c.dp_cells;
     field "bb" c.bb_nodes;
     field "detours" c.detour_searches;
-    field "evals" c.feasibility_checks
+    field "evals" c.feasibility_checks;
+    field "delta" c.delta_evals
   end
 
 let span_hook : (string -> unit -> unit) option Atomic.t = Atomic.make None

@@ -23,7 +23,13 @@
     - [detour_searches]: routes the repair pass had to re-route around a
       fault (Manhattan DP, plus the BFS detour when the rectangle is cut).
     - [feasibility_checks]: solution evaluations ({!Evaluate} load scans
-      deciding feasibility and power). *)
+      deciding feasibility and power).
+    - [delta_evals]: incremental candidate-scoring evaluations made
+      through {!Delta} — per-link memoized cost lookups and planned
+      occupancy reads in the heuristic hot paths. Counted identically
+      whether the memoized table or the legacy direct computation backs
+      the lookup, so campaign rows match across [MANROUTE_DELTA]
+      settings. *)
 
 type counters = {
   mutable paths_scored : int;
@@ -31,6 +37,7 @@ type counters = {
   mutable bb_nodes : int;
   mutable detour_searches : int;
   mutable feasibility_checks : int;
+  mutable delta_evals : int;
 }
 
 val zero : unit -> counters
@@ -56,8 +63,8 @@ val is_zero : counters -> bool
 val equal : counters -> counters -> bool
 
 val pp : Format.formatter -> counters -> unit
-(** ["paths=… dp=… bb=… detours=… evals=…"], omitting zero fields; ["-"]
-    when all are zero. *)
+(** ["paths=… dp=… bb=… detours=… evals=… delta=…"], omitting zero
+    fields; ["-"] when all are zero. *)
 
 (** {1 Span hook}
 

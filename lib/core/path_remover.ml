@@ -242,12 +242,8 @@ let extract_path loads st =
              the DP must still chain through — it then picks the path with
              the fewest dead crossings and the repair pass detours them. *)
           let hop =
-            let phi = Noc.Load.factor loads s.id in
-            if phi <= 0. then 1e15
-            else
-              (Noc.Load.get loads s.id
-              +. st.comm.Traffic.Communication.rate)
-              /. phi
+            Delta.occupancy loads ~dead:1e15
+              ~rate:st.comm.Traffic.Communication.rate s.id
           in
           let c = cost.(k + 1).(s.dst_pos) +. hop in
           if c < cost.(k).(s.src_pos) then begin

@@ -15,8 +15,11 @@ let route_usable fault (r : Solution.route) =
   List.for_all (fun (p, _) -> Noc.Fault.path_usable fault p) r.paths
   && List.for_all (fun (w, _) -> Noc.Fault.walk_usable fault w) r.detours
 
-(* Cheapest surviving Manhattan path, or None when the rectangle is cut. *)
-let manhattan_usable fault model loads (comm : Traffic.Communication.t) =
+(* Cheapest surviving Manhattan path, or None when the rectangle is cut.
+   Marginal link costs go through the delta engine's memoized table; the
+   loads carry the fault, so the scorer's capacity factors are exactly
+   [Noc.Fault.factor fault id]. *)
+let manhattan_usable_sc fault sc loads (comm : Traffic.Communication.t) =
   let mesh = Noc.Load.mesh loads in
   let rate = comm.rate in
   let rect = Noc.Rect.make ~src:comm.src ~snk:comm.snk in
@@ -38,13 +41,10 @@ let manhattan_usable fault model loads (comm : Traffic.Communication.t) =
                 | None -> acc
                 | Some (tail, _) ->
                     let id = Noc.Mesh.link_id mesh l in
-                    let factor = Noc.Fault.factor fault id in
                     let before = Noc.Load.get loads id in
                     let marginal =
-                      Power.Model.penalized_cost_capped model ~factor
-                        (before +. rate)
-                      -. Power.Model.penalized_cost_capped model ~factor
-                           before
+                      Delta.cost sc id (before +. rate)
+                      -. Delta.cost sc id before
                     in
                     let cost = tail +. marginal in
                     (match acc with
@@ -112,10 +112,10 @@ let detour fault mesh ~src ~snk =
     Some (Noc.Walk.of_cores (Array.of_list !rev))
   end
 
-let reroute fault model loads (comm : Traffic.Communication.t) =
+let reroute fault sc loads (comm : Traffic.Communication.t) =
   let m = Metrics.current () in
   m.Metrics.detour_searches <- m.Metrics.detour_searches + 1;
-  match manhattan_usable fault model loads comm with
+  match manhattan_usable_sc fault sc loads comm with
   | Some p ->
       Noc.Load.add_path loads p comm.rate;
       Solution.route_single comm p
@@ -127,6 +127,9 @@ let reroute fault model loads (comm : Traffic.Communication.t) =
           Solution.route_detour comm w
       | None -> raise (No_route comm))
 
+let manhattan_usable fault model loads comm =
+  manhattan_usable_sc fault (Delta.scorer model loads) loads comm
+
 let add_route loads (r : Solution.route) =
   List.iter (fun (p, share) -> Noc.Load.add_path loads p share) r.paths;
   List.iter (fun (w, share) -> Noc.Load.add_walk loads w share) r.detours
@@ -136,6 +139,7 @@ let solution fault model s =
   else begin
     let mesh = Solution.mesh s in
     let loads = Noc.Load.create ~fault mesh in
+    let sc = Delta.scorer model loads in
     let routes =
       List.map
         (fun (r : Solution.route) ->
@@ -143,7 +147,7 @@ let solution fault model s =
             add_route loads r;
             r
           end
-          else reroute fault model loads r.comm)
+          else reroute fault sc loads r.comm)
         (Solution.routes s)
     in
     Solution.make mesh routes

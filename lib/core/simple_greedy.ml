@@ -22,11 +22,8 @@ let build_path loads (comm : Traffic.Communication.t) =
              infinitely full. Without a fault the rate is a common offset,
              so the comparison reduces to the original raw-load order. *)
           let planned (l : Noc.Mesh.link) =
-            let phi = Noc.Load.factor_link loads l in
-            if phi <= 0. then infinity
-            else
-              (Noc.Load.get_link loads l +. comm.Traffic.Communication.rate)
-              /. phi
+            Delta.occupancy_link loads ~dead:infinity
+              ~rate:comm.Traffic.Communication.rate l
           in
           let la = planned a and lb = planned b in
           if la < lb then a.Noc.Mesh.dst

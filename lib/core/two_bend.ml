@@ -1,21 +1,20 @@
-let added_cost model loads rate path =
+(* Added penalized cost of routing [rate] over the candidate, scored
+   through the delta engine's memoized cost table. *)
+let added_cost sc loads rate path =
   Array.fold_left
     (fun acc l ->
       let before = Noc.Load.get_link loads l in
-      let factor = Noc.Load.factor_link loads l in
-      acc
-      +. Power.Model.penalized_cost_capped model ~factor (before +. rate)
-      -. Power.Model.penalized_cost_capped model ~factor before)
+      acc +. Delta.cost_link sc l (before +. rate) -. Delta.cost_link sc l before)
     0. (Noc.Path.links path)
 
-let best_candidate model loads (comm : Traffic.Communication.t) =
+let best_candidate sc loads (comm : Traffic.Communication.t) =
   let candidates = Noc.Path.two_bend_all ~src:comm.src ~snk:comm.snk in
   match candidates with
   | [] -> assert false
   | first :: rest ->
       let m = Metrics.current () in
       m.Metrics.paths_scored <- m.Metrics.paths_scored + List.length candidates;
-      let cost = added_cost model loads comm.rate in
+      let cost = added_cost sc loads comm.rate in
       let best, _ =
         List.fold_left
           (fun (bp, bc) p ->
@@ -28,10 +27,11 @@ let best_candidate model loads (comm : Traffic.Communication.t) =
 let route ?(order = Traffic.Communication.By_rate_desc) ?fault mesh model
     comms =
   let loads = Noc.Load.create ?fault mesh in
+  let sc = Delta.scorer model loads in
   let routes =
     List.map
       (fun comm ->
-        let path = best_candidate model loads comm in
+        let path = best_candidate sc loads comm in
         Noc.Load.add_path loads path comm.Traffic.Communication.rate;
         Solution.route_single comm path)
       (Traffic.Communication.sort order comms)

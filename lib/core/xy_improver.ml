@@ -70,8 +70,10 @@ let divert path (l : Noc.Mesh.link) =
       end
 
 (* Penalized-cost change of replacing [old_p] by [new_p] for [rate] units,
-   without mutating the loads. Only links whose load changes contribute. *)
-let move_delta model loads rate old_p new_p =
+   without mutating the loads. Only links whose load changes contribute;
+   each contribution is scored through the delta engine's memoized cost
+   table. *)
+let move_delta sc loads rate old_p new_p =
   let mesh = Noc.Load.mesh loads in
   let changes = Hashtbl.create 32 in
   let bump sign l =
@@ -86,10 +88,7 @@ let move_delta model loads rate old_p new_p =
       if Float.abs d < 1e-12 then acc
       else
         let before = Noc.Load.get loads id in
-        let factor = Noc.Load.factor loads id in
-        acc
-        +. Power.Model.penalized_cost_capped model ~factor (before +. d)
-        -. Power.Model.penalized_cost_capped model ~factor before)
+        acc +. Delta.cost sc id (before +. d) -. Delta.cost sc id before)
     changes 0.
 
 (* Local-search core shared by [route] (XY start) and [improve] (arbitrary
@@ -97,6 +96,7 @@ let move_delta model loads rate old_p new_p =
    pays, with the link list pruned as in the paper. Mutates [paths] and
    [loads]. *)
 let improve_in_place mesh model ~max_moves comms paths loads =
+  let sc = Delta.scorer model loads in
   let dead = Array.make (Noc.Mesh.num_links mesh) false in
   let moves = ref 0 in
   let rec improve () =
@@ -121,7 +121,7 @@ let improve_in_place mesh model ~max_moves comms paths loads =
                   let m = Metrics.current () in
                   m.Metrics.paths_scored <- m.Metrics.paths_scored + 1;
                   let rate = comms.(i).Traffic.Communication.rate in
-                  let delta = move_delta model loads rate p np in
+                  let delta = move_delta sc loads rate p np in
                   let better =
                     match !best with
                     | None -> delta < -1e-9

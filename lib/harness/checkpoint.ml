@@ -58,6 +58,7 @@ let line key ~x cells =
              string_of_int c.counters.Routing.Metrics.bb_nodes;
              string_of_int c.counters.Routing.Metrics.detour_searches;
              string_of_int c.counters.Routing.Metrics.feasibility_checks;
+             string_of_int c.counters.Routing.Metrics.delta_evals;
            ]))
     cells;
   Buffer.contents buf
@@ -99,16 +100,21 @@ let parse_msg s =
     | exception _ -> None
   else None
 
-let parse_counters p d b ds fc =
+let parse_counters ?(de = "0") p d b ds fc =
   match
     ( int_of_string_opt p,
       int_of_string_opt d,
       int_of_string_opt b,
       int_of_string_opt ds,
-      int_of_string_opt fc )
+      int_of_string_opt fc,
+      int_of_string_opt de )
   with
-  | Some paths_scored, Some dp_cells, Some bb_nodes, Some detour_searches,
-    Some feasibility_checks ->
+  | ( Some paths_scored,
+      Some dp_cells,
+      Some bb_nodes,
+      Some detour_searches,
+      Some feasibility_checks,
+      Some delta_evals ) ->
       Some
         {
           Routing.Metrics.paths_scored;
@@ -116,30 +122,39 @@ let parse_counters p d b ds fc =
           bb_nodes;
           detour_searches;
           feasibility_checks;
+          delta_evals;
         }
   | _ -> None
 
 let parse_cells n fields =
   (* Checkpoints written before the telemetry layer carry 8 fields per
-     cell; newer ones carry 13 (five counter ints appended). Same magic,
-     same version: the arity is read off the total field count, so old
-     resume files keep loading — with zero counters. *)
-  let with_counters =
+     cell; the telemetry layer appended five counter ints (13), and the
+     delta engine a sixth (14). Same magic, same version: the arity is
+     read off the total field count, so old resume files keep loading —
+     missing counters parse as zero. *)
+  let arity =
     match List.length fields with
-    | len when n > 0 && len = n * 13 -> true
-    | len when len = n * 8 -> false
-    | _ -> true (* wrong shape either way; fail in the loop below *)
+    | len when n > 0 && len = n * 14 -> `Counters6
+    | len when n > 0 && len = n * 13 -> `Counters5
+    | len when len = n * 8 -> `NoCounters
+    | _ -> `Counters6 (* wrong shape either way; fail in the loop below *)
   in
   let rec go acc k = function
     | [] when k = 0 -> Some (List.rev acc)
     | name :: fail :: err :: norm :: stderr :: power :: detour :: msg :: tl
       when k > 0 -> (
         let counters, tl =
-          if not with_counters then (Some (Routing.Metrics.zero ()), tl)
-          else
-            match tl with
-            | p :: d :: b :: ds :: fc :: tl -> (parse_counters p d b ds fc, tl)
-            | _ -> (None, tl)
+          match arity with
+          | `NoCounters -> (Some (Routing.Metrics.zero ()), tl)
+          | `Counters5 -> (
+              match tl with
+              | p :: d :: b :: ds :: fc :: tl -> (parse_counters p d b ds fc, tl)
+              | _ -> (None, tl))
+          | `Counters6 -> (
+              match tl with
+              | p :: d :: b :: ds :: fc :: de :: tl ->
+                  (parse_counters ~de p d b ds fc, tl)
+              | _ -> (None, tl))
         in
         match
           ( parse_float fail,

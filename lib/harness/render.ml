@@ -27,7 +27,8 @@ let csv (r : Runner.result) =
            name name name);
       Buffer.add_string buf
         (Printf.sprintf ",%s_paths,%s_dp,%s_bb,%s_reroutes,%s_evals" name name
-           name name name))
+           name name name);
+      Buffer.add_string buf (Printf.sprintf ",%s_delta_evals" name))
     names;
   Buffer.add_char buf '\n';
   List.iter
@@ -40,10 +41,11 @@ let csv (r : Runner.result) =
                s.norm_stderr s.failure_ratio s.error_ratio s.mean_detour_hops);
           let c = s.counters in
           Buffer.add_string buf
-            (Printf.sprintf ",%d,%d,%d,%d,%d" c.Routing.Metrics.paths_scored
+            (Printf.sprintf ",%d,%d,%d,%d,%d,%d" c.Routing.Metrics.paths_scored
                c.Routing.Metrics.dp_cells c.Routing.Metrics.bb_nodes
                c.Routing.Metrics.detour_searches
-               c.Routing.Metrics.feasibility_checks))
+               c.Routing.Metrics.feasibility_checks
+               c.Routing.Metrics.delta_evals))
         row.cells;
       Buffer.add_char buf '\n')
     r.rows;

@@ -40,6 +40,7 @@ let add t id delta =
   let x = t.loads.(id) +. delta in
   t.loads.(id) <- (if x < epsilon && x > -.epsilon then 0. else x)
 
+let set t id x = t.loads.(id) <- x
 let add_link t l delta = add t (Mesh.link_id t.mesh l) delta
 let add_path t path rate = Path.iter_links path (fun l -> add_link t l rate)
 let remove_path t path rate = add_path t path (-.rate)

@@ -46,6 +46,12 @@ val add : t -> int -> float -> unit
 (** [add t id delta] adds [delta] (possibly negative) to a link load.
     Tiny negative results from float cancellation are clamped to [0.]. *)
 
+val set : t -> int -> float -> unit
+(** [set t id x] overwrites a link load with [x], no clamping. Meant for
+    restoring a value previously read with {!get} — the delta engine's
+    journal rollback, which must reproduce the pre-speculation state
+    bit-exactly ([old -. d +. d] would not). *)
+
 val add_link : t -> Mesh.link -> float -> unit
 
 val add_path : t -> Path.t -> float -> unit

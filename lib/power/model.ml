@@ -123,6 +123,155 @@ let penalized_cost_capped t ~factor load =
         +. dynamic_power t load
         +. (1e9 *. (1. +. ((load -. cap) /. t.capacity)))
 
+(* ------------------------------------------------------------------ *)
+(* Memoized cost table.
+
+   In discrete mode every feasible active link costs one of a handful of
+   values: [p_leak + dynamic_power levels.(i)]. The hot scoring loops of
+   the routing layer evaluate [penalized_cost_capped] millions of times
+   per campaign, and each call pays a [Float.pow]; the table evaluates
+   the power once per level and reduces a lookup to the same comparison
+   scan [required_frequency_capped] performs, returning the cached sum.
+   The cached values are computed by the very expressions the direct
+   functions use, so lookups are bit-identical to the direct path — the
+   differential oracle in test_delta.ml enforces this. *)
+
+type table = {
+  owner : t;
+  tlevels : float array;  (* discrete levels; [||] in continuous mode *)
+  tdyn : float array;  (* dynamic_power owner tlevels.(i) *)
+  tactive : float array;  (* p_leak +. tdyn.(i) *)
+}
+
+let table t =
+  match t.mode with
+  | Continuous -> { owner = t; tlevels = [||]; tdyn = [||]; tactive = [||] }
+  | Discrete levels ->
+      let tdyn = Array.map (fun f -> dynamic_power t f) levels in
+      let tactive = Array.map (fun d -> t.p_leak +. d) tdyn in
+      { owner = t; tlevels = levels; tdyn; tactive }
+
+let table_model tb = tb.owner
+let table_nlevels tb = Array.length tb.tlevels
+let table_dynamic tb i = tb.tdyn.(i)
+
+let idle_class = -1
+let overloaded_class = -2
+
+(* Mirrors [required_frequency_capped] comparison for comparison: the
+   returned class is [i] exactly when the direct call returns
+   [Some levels.(i)] (or [Some load] in continuous mode, class 0),
+   [overloaded_class] exactly when it returns [None]. *)
+let table_classify tb ~factor load =
+  let t = tb.owner in
+  if load <= 0. then idle_class
+  else if factor >= 1. then
+    if load > t.capacity +. tolerance then overloaded_class
+    else (
+      match t.mode with
+      | Continuous -> 0
+      | Discrete _ ->
+          let n = Array.length tb.tlevels in
+          let rec find i =
+            if i >= n then overloaded_class
+            else if tb.tlevels.(i) +. tolerance >= load then i
+            else find (i + 1)
+          in
+          find 0)
+  else
+    let cap = factor *. t.capacity in
+    if load > cap +. tolerance then overloaded_class
+    else
+      match t.mode with
+      | Continuous -> 0
+      | Discrete _ ->
+          let n = Array.length tb.tlevels in
+          let rec find i =
+            if i >= n then overloaded_class
+            else if tb.tlevels.(i) > cap +. tolerance then overloaded_class
+            else if tb.tlevels.(i) +. tolerance >= load then i
+            else find (i + 1)
+          in
+          find 0
+
+let table_cost tb ~factor load =
+  let t = tb.owner in
+  match t.mode with
+  | Continuous ->
+      (* Nothing to memoize: the dynamic term depends on the exact load. *)
+      penalized_cost_capped t ~factor load
+  | Discrete _ ->
+      if load <= 0. then 0.
+      else if factor >= 1. then
+        if is_feasible t load then begin
+          let n = Array.length tb.tlevels in
+          let rec find i =
+            (* [i >= n] can only happen when the top level sits a hair
+               below [capacity]; the direct path raises there, so keep
+               raising the same exception. *)
+            if i >= n then link_power_exn t load
+            else if tb.tlevels.(i) +. tolerance >= load then tb.tactive.(i)
+            else find (i + 1)
+          in
+          find 0
+        end
+        else
+          t.p_leak
+          +. dynamic_power t load
+          +. (1e9 *. (1. +. ((load -. t.capacity) /. t.capacity)))
+      else
+        let cap = factor *. t.capacity in
+        let penalty () =
+          t.p_leak
+          +. dynamic_power t load
+          +. (1e9 *. (1. +. ((load -. cap) /. t.capacity)))
+        in
+        if load > cap +. tolerance then penalty ()
+        else
+          let n = Array.length tb.tlevels in
+          let rec find i =
+            if i >= n then penalty ()
+            else if tb.tlevels.(i) > cap +. tolerance then penalty ()
+            else if tb.tlevels.(i) +. tolerance >= load then tb.tactive.(i)
+            else find (i + 1)
+          in
+          find 0
+
+(* Canonical repeated addition: [x +. x +. … +. x], n terms, summed left
+   to right. Both the full evaluator and the delta engine express their
+   static/dynamic totals through this one function, which is what makes
+   an incrementally maintained report bit-identical to a from-scratch
+   scan — the sum depends only on [(x, n)], never on arrival order. *)
+let sum_repeat x n =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. x
+  done;
+  !acc
+
+(* Growable prefix-sum cache over one term: [sums_get s n] returns
+   [sum_repeat x n] in O(1) amortized, extending the cached prefixes by
+   the exact same left-to-right additions — so the cached value is the
+   canonical sum bit for bit. Single-owner mutable state (a delta engine
+   keeps one per summed term); not for cross-domain sharing. *)
+type sums = { sx : float; mutable svals : float array; mutable sn : int }
+
+let sums x = { sx = x; svals = [| 0. |]; sn = 1 }
+
+let sums_get s n =
+  if n >= s.sn then begin
+    if n >= Array.length s.svals then begin
+      let nv = Array.make (max (n + 1) (2 * Array.length s.svals)) 0. in
+      Array.blit s.svals 0 nv 0 s.sn;
+      s.svals <- nv
+    end;
+    for i = s.sn to n do
+      s.svals.(i) <- s.svals.(i - 1) +. s.sx
+    done;
+    s.sn <- n + 1
+  end;
+  s.svals.(n)
+
 let pp ppf t =
   let mode =
     match t.mode with

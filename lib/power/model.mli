@@ -99,4 +99,69 @@ val penalized_cost_capped : t -> factor:float -> float -> float
     positive load expensive), so cost-guided heuristics steer around faults
     without a separate feasibility check. *)
 
+(** {1 Memoized cost table}
+
+    The routing hot paths score candidate links through
+    {!penalized_cost_capped} millions of times per campaign, and every
+    discrete-mode call pays a [Float.pow]. A {!table} caches, per
+    frequency level, the dynamic term and the active-link cost computed
+    once by the exact expressions the direct functions use; a lookup then
+    reduces to the same comparison scan as {!required_frequency_capped}
+    plus an array read. Lookups are bit-identical to the direct calls
+    (same floats, same exceptions), which the differential oracle in the
+    test suite enforces. Tables are immutable after construction and safe
+    to share across domains. *)
+
+type table
+
+val table : t -> table
+(** Build the per-level cost table (one [dynamic_power] evaluation per
+    discrete level; trivial for continuous models). *)
+
+val table_model : table -> t
+(** The model the table was built from. *)
+
+val table_nlevels : table -> int
+(** Number of discrete levels; [0] for a continuous model. *)
+
+val table_dynamic : table -> int -> float
+(** Cached [dynamic_power] of the i-th discrete level. *)
+
+val idle_class : int
+(** Class of an idle link ([load <= 0]): [-1]. *)
+
+val overloaded_class : int
+(** Class of an infeasible link: [-2]. *)
+
+val table_classify : table -> factor:float -> float -> int
+(** Frequency class of a link at the given load on a link degraded to
+    [factor * capacity]: {!idle_class}, {!overloaded_class}, or the level
+    index chosen by {!required_frequency_capped} ([0] for a feasible
+    continuous-mode link). Decides with exactly the comparisons of the
+    direct function. *)
+
+val table_cost : table -> factor:float -> float -> float
+(** [table_cost tb ~factor load] = [penalized_cost_capped (table_model tb)
+    ~factor load], bit-identical, without the per-call [Float.pow] in
+    discrete mode. *)
+
+val sum_repeat : float -> int -> float
+(** [sum_repeat x n] — [x] summed [n] times, left to right. The canonical
+    order in which the evaluator totals identical per-link costs; a
+    function of [(x, n)] only, so an incrementally maintained count
+    reproduces a sequential scan bit-for-bit. *)
+
+type sums
+(** Growable prefix-sum cache over one term, for callers that evaluate
+    {!sum_repeat} of the same [x] at many nearby counts (the delta
+    engine's per-report totals). Mutable, single-owner: do not share
+    across domains. *)
+
+val sums : float -> sums
+
+val sums_get : sums -> int -> float
+(** [sums_get (sums x) n] = [sum_repeat x n], bit-identical, in O(1)
+    amortized: cached prefixes are extended by the same left-to-right
+    additions the direct sum performs. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,372 @@
+(* Differential oracle for the incremental delta-evaluation engine.
+
+   The contract under test is bit-identity, not approximation: after any
+   sequence of path add / remove / swap operations — healthy, dead-link
+   and degraded-link scenarios alike — [Routing.Delta.report] must equal
+   a from-scratch [Routing.Evaluate.of_loads] field by field, floats
+   compared through [Int64.bits_of_float]. The same standard applies to
+   the speculation journal (rollback restores loads and classification
+   state verbatim), to the memoized-table scorer against the direct cost
+   computation, and end-to-end: a small campaign must render byte-equal
+   CSV rows and checkpoint files whichever backend [MANROUTE_DELTA]
+   selects, at one worker domain or two. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let km = Power.Model.kim_horowitz
+let bits = Int64.bits_of_float
+
+let check_bits msg a b =
+  Alcotest.(check int64) (msg ^ " (bit-identical)") (bits a) (bits b)
+
+let report_eq (a : Routing.Evaluate.report) (b : Routing.Evaluate.report) =
+  a.feasible = b.feasible
+  && bits a.total_power = bits b.total_power
+  && bits a.static_power = bits b.static_power
+  && bits a.dynamic_power = bits b.dynamic_power
+  && a.active_links = b.active_links
+  && bits a.max_load = bits b.max_load
+  && a.detour_hops = b.detour_hops
+  && List.length a.overloaded = List.length b.overloaded
+  && List.for_all2
+       (fun (la, xa) (lb, xb) -> la = lb && bits xa = bits xb)
+       a.overloaded b.overloaded
+
+let loads_eq a b =
+  let n = Noc.Mesh.num_links (Noc.Load.mesh a) in
+  let ok = ref (Noc.Mesh.num_links (Noc.Load.mesh b) = n) in
+  for id = 0 to n - 1 do
+    if bits (Noc.Load.get a id) <> bits (Noc.Load.get b id) then ok := false
+  done;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Randomized differential oracle *)
+
+let models =
+  [| km; Power.Model.kim_horowitz_continuous; Power.Model.theory () |]
+
+let make_fault rng kind mesh =
+  match kind with
+  | 0 -> None
+  | 1 ->
+      Some
+        (Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng) ~kills:2 mesh)
+  | _ ->
+      Some (Noc.Fault.random_degraded ~choose:(Traffic.Rng.int rng) ~n:3 mesh)
+
+let instance_gen =
+  QCheck.Gen.(
+    quad (int_range 0 1_000_000) (int_range 3 6) (int_range 0 2)
+      (int_range 0 2))
+
+(* ~40 operations per instance; after every one the tracked state must
+   bit-match both a shadow load vector driven by the same mutations and a
+   from-scratch evaluation of the engine's own vector. *)
+let prop_delta_matches_from_scratch =
+  QCheck.Test.make
+    ~name:"delta report bit-matches from-scratch of_loads after every op"
+    ~count:40
+    (QCheck.make instance_gen)
+    (fun (seed, p, model_idx, fault_kind) ->
+      let mesh = Noc.Mesh.square p in
+      let model = models.(model_idx) in
+      let rng = Traffic.Rng.create seed in
+      let fault = make_fault rng fault_kind mesh in
+      let comms =
+        Array.of_list
+          (Traffic.Workload.uniform rng mesh ~n:8
+             ~weight:(Traffic.Workload.weight ~lo:300. ~hi:2800.))
+      in
+      let d = Routing.Delta.create ?fault model mesh in
+      let shadow = Noc.Load.create ?fault mesh in
+      let routed = ref [] in
+      let random_path (c : Traffic.Communication.t) =
+        Noc.Path.random ~choose:(Traffic.Rng.int rng) ~src:c.src ~snk:c.snk
+      in
+      let add () =
+        let c = comms.(Traffic.Rng.int rng (Array.length comms)) in
+        let path = random_path c in
+        Routing.Delta.add_path d path c.rate;
+        Noc.Load.add_path shadow path c.rate;
+        routed := (c, path) :: !routed
+      in
+      let pick_routed () =
+        let i = Traffic.Rng.int rng (List.length !routed) in
+        let entry = List.nth !routed i in
+        routed := List.filteri (fun j _ -> j <> i) !routed;
+        entry
+      in
+      let remove () =
+        let (c : Traffic.Communication.t), path = pick_routed () in
+        Routing.Delta.remove_path d path c.rate;
+        Noc.Load.remove_path shadow path c.rate
+      in
+      let swap () =
+        let (c : Traffic.Communication.t), path = pick_routed () in
+        Routing.Delta.remove_path d path c.rate;
+        Noc.Load.remove_path shadow path c.rate;
+        let path' = random_path c in
+        Routing.Delta.add_path d path' c.rate;
+        Noc.Load.add_path shadow path' c.rate;
+        routed := (c, path') :: !routed
+      in
+      let speculate () =
+        (* Apply under a mark, check, roll back, check again: the
+           speculative state and the restored state must both match a
+           from-scratch evaluation. *)
+        let c = comms.(Traffic.Rng.int rng (Array.length comms)) in
+        let path = random_path c in
+        let m = Routing.Delta.mark d in
+        Routing.Delta.add_path d path c.rate;
+        let spec_ok =
+          report_eq (Routing.Delta.report d)
+            (Routing.Evaluate.of_loads model (Routing.Delta.loads d))
+        in
+        Routing.Delta.rollback d m;
+        spec_ok
+      in
+      let ok = ref true in
+      for _ = 1 to 40 do
+        (match Traffic.Rng.int rng 5 with
+        | 0 | 1 -> add ()
+        | 2 -> if !routed = [] then add () else remove ()
+        | 3 -> if !routed = [] then add () else swap ()
+        | _ -> if not (speculate ()) then ok := false);
+        if not (loads_eq shadow (Routing.Delta.loads d)) then ok := false;
+        let fresh =
+          Routing.Evaluate.of_loads model (Routing.Delta.loads d)
+        in
+        if not (report_eq (Routing.Delta.report d) fresh) then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Journal semantics *)
+
+let coord row col = Noc.Coord.make ~row ~col
+
+let seeded_engine () =
+  let mesh = Noc.Mesh.square 4 in
+  let d = Routing.Delta.create km mesh in
+  Routing.Delta.add_path d (Noc.Path.xy ~src:(coord 1 1) ~snk:(coord 3 3)) 900.;
+  Routing.Delta.add_path d (Noc.Path.yx ~src:(coord 1 1) ~snk:(coord 3 3)) 1400.;
+  (mesh, d)
+
+let snapshot d =
+  let loads = Routing.Delta.loads d in
+  Array.init (Noc.Mesh.num_links (Noc.Load.mesh loads)) (Noc.Load.get loads)
+
+let check_snapshot msg before d =
+  let after = snapshot d in
+  Array.iteri
+    (fun id x ->
+      check_bits (Printf.sprintf "%s: link %d" msg id) x after.(id))
+    before
+
+let test_rollback_restores_bit_exactly () =
+  let _, d = seeded_engine () in
+  let before = snapshot d in
+  let report_before = Routing.Delta.report d in
+  let m = Routing.Delta.mark d in
+  Routing.Delta.add_path d (Noc.Path.xy ~src:(coord 1 2) ~snk:(coord 4 4)) 2500.;
+  Routing.Delta.remove_path d (Noc.Path.xy ~src:(coord 1 1) ~snk:(coord 3 3)) 900.;
+  Routing.Delta.rollback d m;
+  check_snapshot "rollback" before d;
+  check_bool "report restored bit-exactly" true
+    (report_eq report_before (Routing.Delta.report d));
+  check_bool "still matches from-scratch" true
+    (report_eq (Routing.Delta.report d)
+       (Routing.Evaluate.of_loads km (Routing.Delta.loads d)))
+
+let test_rollback_undoes_clamp () =
+  (* [Noc.Load.add] clamps near-zero residuals to 0; re-subtracting would
+     drift, so rollback must restore the recorded value verbatim. *)
+  let _, d = seeded_engine () in
+  let before = snapshot d in
+  let m = Routing.Delta.mark d in
+  (* Exactly cancels the 900 path: the touched links clamp to 0. *)
+  Routing.Delta.remove_path d (Noc.Path.xy ~src:(coord 1 1) ~snk:(coord 3 3)) 900.;
+  Routing.Delta.rollback d m;
+  check_snapshot "clamp rollback" before d
+
+let test_nested_marks () =
+  let _, d = seeded_engine () in
+  let s0 = snapshot d in
+  let m1 = Routing.Delta.mark d in
+  Routing.Delta.add_path d (Noc.Path.xy ~src:(coord 2 1) ~snk:(coord 2 4)) 700.;
+  let s1 = snapshot d in
+  let m2 = Routing.Delta.mark d in
+  Routing.Delta.add_path d (Noc.Path.yx ~src:(coord 1 3) ~snk:(coord 4 1)) 1100.;
+  Routing.Delta.rollback d m2;
+  check_snapshot "inner rollback returns to the outer state" s1 d;
+  Routing.Delta.rollback d m1;
+  check_snapshot "outer rollback returns to the base state" s0 d
+
+let test_commit_keeps_mutations () =
+  let _, d = seeded_engine () in
+  let m = Routing.Delta.mark d in
+  Routing.Delta.add_path d (Noc.Path.xy ~src:(coord 2 1) ~snk:(coord 2 4)) 700.;
+  let s = snapshot d in
+  Routing.Delta.commit d m;
+  check_snapshot "commit keeps the speculative loads" s d;
+  check_bool "committed state matches from-scratch" true
+    (report_eq (Routing.Delta.report d)
+       (Routing.Evaluate.of_loads km (Routing.Delta.loads d)))
+
+let test_rollback_without_mark_raises () =
+  let _, d = seeded_engine () in
+  let m = Routing.Delta.mark d in
+  Routing.Delta.rollback d m;
+  Alcotest.check_raises "no outstanding mark"
+    (Invalid_argument "Delta.rollback: no outstanding mark") (fun () ->
+      Routing.Delta.rollback d m)
+
+(* ------------------------------------------------------------------ *)
+(* Scorer: table backend vs legacy direct computation *)
+
+let with_backend b f =
+  Routing.Delta.set_table_backend b;
+  Fun.protect ~finally:(fun () -> Routing.Delta.set_table_backend None) f
+
+let test_scorer_backends_agree () =
+  let mesh = Noc.Mesh.square 3 in
+  let grid =
+    [ -1.; 0.; 1e-9; 500.; 1000.; 1000.5; 1800.; 2500.; 3500.; 3600.; 1e5 ]
+  in
+  let factors = [ 1.; 0.75; 0.5; 0. ] in
+  List.iter
+    (fun model ->
+      let loads = Noc.Load.create mesh in
+      let direct = Power.Model.penalized_cost_capped model in
+      let costs backend =
+        with_backend (Some backend) @@ fun () ->
+        let sc = Routing.Delta.scorer model loads in
+        List.concat_map
+          (fun factor ->
+            List.map (fun l -> Routing.Delta.cost_at sc ~factor l) grid)
+          factors
+      in
+      let via_table = costs true and via_direct = costs false in
+      let expected =
+        List.concat_map
+          (fun factor -> List.map (fun l -> direct ~factor l) grid)
+          factors
+      in
+      List.iteri
+        (fun i e ->
+          check_bits (Printf.sprintf "table cell %d" i) e
+            (List.nth via_table i);
+          check_bits (Printf.sprintf "direct cell %d" i) e
+            (List.nth via_direct i))
+        expected)
+    [ km; Power.Model.kim_horowitz_continuous ]
+
+let test_occupancy_matches_formula () =
+  let mesh = Noc.Mesh.square 3 in
+  let l_degraded = Noc.Mesh.link ~src:(coord 1 1) ~dst:(coord 1 2) in
+  let l_dead = Noc.Mesh.link ~src:(coord 2 1) ~dst:(coord 2 2) in
+  let l_healthy = Noc.Mesh.link ~src:(coord 3 1) ~dst:(coord 3 2) in
+  let fault =
+    Noc.Fault.kill_link
+      (Noc.Fault.degrade_link (Noc.Fault.healthy mesh) l_degraded 0.5)
+      l_dead
+  in
+  let loads = Noc.Load.create ~fault mesh in
+  Noc.Load.add_link loads l_degraded 400.;
+  Noc.Load.add_link loads l_healthy 400.;
+  let occ = Routing.Delta.occupancy_link loads ~rate:100. in
+  check_bits "healthy: load + rate" 500. (occ ~dead:infinity l_healthy);
+  check_bits "degraded: (load + rate) / factor" 1000.
+    (occ ~dead:infinity l_degraded);
+  check_bits "dead: sentinel" infinity (occ ~dead:infinity l_dead);
+  check_bits "dead: PR sentinel" 1e15 (occ ~dead:1e15 l_dead)
+
+let test_delta_evals_counted_on_both_backends () =
+  let mesh = Noc.Mesh.square 3 in
+  let loads = Noc.Load.create mesh in
+  let count backend =
+    with_backend (Some backend) @@ fun () ->
+    let sc = Routing.Delta.scorer km loads in
+    let m = Routing.Metrics.current () in
+    let before = m.Routing.Metrics.delta_evals in
+    ignore (Routing.Delta.cost_at sc ~factor:1. 500.);
+    ignore (Routing.Delta.occupancy loads ~dead:infinity ~rate:1. 0);
+    m.Routing.Metrics.delta_evals - before
+  in
+  check_int "table backend counts 2" 2 (count true);
+  check_int "legacy backend counts 2" 2 (count false)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end: campaign rows are backend- and jobs-invariant *)
+
+let small_figf = { Harness.Figure.figf with xs = [ 0.; 2.; 5. ] }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let campaign backend jobs =
+  with_backend (Some backend) @@ fun () ->
+  let ckpt = Filename.temp_file "manroute-delta" ".ckpt" in
+  let result =
+    Harness.Runner.run ~trials:3 ~seed:5 ~jobs ~checkpoint:ckpt small_figf
+  in
+  let csv = Harness.Render.csv result in
+  let ckpt_bytes = read_file ckpt in
+  Sys.remove ckpt;
+  (csv, ckpt_bytes)
+
+let test_campaign_backend_invariant () =
+  let csv_t1, ck_t1 = campaign true 1 in
+  let csv_l1, ck_l1 = campaign false 1 in
+  let csv_t2, ck_t2 = campaign true 2 in
+  let csv_l2, ck_l2 = campaign false 2 in
+  check_string "csv: table vs legacy, jobs=1" csv_t1 csv_l1;
+  check_string "csv: table vs legacy, jobs=2" csv_t2 csv_l2;
+  check_string "csv: jobs=1 vs jobs=2" csv_t1 csv_t2;
+  check_string "checkpoint: table vs legacy, jobs=1" ck_t1 ck_l1;
+  check_string "checkpoint: table vs legacy, jobs=2" ck_t2 ck_l2;
+  check_string "checkpoint: jobs=1 vs jobs=2" ck_t1 ck_t2;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  check_bool "csv reports delta work" true (contains csv_t1 "BEST_delta_evals")
+
+let () =
+  Alcotest.run "delta"
+    [
+      ( "oracle",
+        [ QCheck_alcotest.to_alcotest prop_delta_matches_from_scratch ] );
+      ( "journal",
+        [
+          Alcotest.test_case "rollback restores bit-exactly" `Quick
+            test_rollback_restores_bit_exactly;
+          Alcotest.test_case "rollback undoes clamped residuals" `Quick
+            test_rollback_undoes_clamp;
+          Alcotest.test_case "marks nest LIFO" `Quick test_nested_marks;
+          Alcotest.test_case "commit keeps mutations" `Quick
+            test_commit_keeps_mutations;
+          Alcotest.test_case "rollback without a mark raises" `Quick
+            test_rollback_without_mark_raises;
+        ] );
+      ( "scorer",
+        [
+          Alcotest.test_case "table and legacy backends agree with direct"
+            `Quick test_scorer_backends_agree;
+          Alcotest.test_case "occupancy matches the effective formula" `Quick
+            test_occupancy_matches_formula;
+          Alcotest.test_case "delta_evals counted on both backends" `Quick
+            test_delta_evals_counted_on_both_backends;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "campaign rows backend- and jobs-invariant"
+            `Slow test_campaign_backend_invariant;
+        ] );
+    ]

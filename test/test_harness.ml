@@ -449,6 +449,7 @@ let test_checkpoint_corrupt_lines_tolerated () =
           bb_nodes = 0;
           detour_searches = 1;
           feasibility_checks = 3;
+          delta_evals = 5;
         };
     }
   in
@@ -674,6 +675,7 @@ let fabricated_obs i p =
             bb_nodes = 0;
             detour_searches = i mod 3;
             feasibility_checks = 1;
+            delta_evals = 4 * i;
           } );
       ]
 
