@@ -10,7 +10,8 @@
    (default 150); MANROUTE_JOBS sets the worker-domain count for the
    Monte-Carlo campaigns (default: the machine's core count) — results are
    bit-identical for any value; MANROUTE_SKIP_BECHAMEL=1 skips part 2;
-   MANROUTE_BENCH=delta runs only the E21 delta-engine micro-benchmark. *)
+   MANROUTE_BENCH=delta runs only the E21 delta-engine micro-benchmark;
+   MANROUTE_BENCH=smp runs only the E22 s-MP sweep. *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -480,6 +481,84 @@ let splitting_rescue () =
       (pct !split_ok)
   end
 
+(* E22: the flow-guided s-MP engine — total power versus the path budget
+   [s], against both lower bounds (each augmented by the solution's own
+   leakage, since the relaxations drop the static term), plus the rescue
+   rate on the instances every single-path heuristic loses. Means are
+   over the instances feasible at that [s]; the never-worse guard makes
+   every 1-MP-feasible instance feasible at every [s], so the common core
+   of the per-row populations is identical and the power column is
+   comparable down the table. The continuous-model column re-evaluates
+   the same routing with continuous frequencies: its distance to 1.0 is
+   the engine's true routing gap, the rest of the discrete column is the
+   price of rounding link frequencies up to the next Kim–Horowitz
+   level. *)
+
+let smp_sweep () =
+  section "E22 | Flow-guided s-MP: power vs path budget s (8x8, 25 mixed)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 313 in
+  let trials = Int.min 40 (Harness.Runner.default_trials ()) in
+  let pre =
+    List.init trials (fun _ ->
+        let comms =
+          Traffic.Workload.uniform rng mesh ~n:25
+            ~weight:Traffic.Workload.mixed
+        in
+        let best = Routing.Best.route model mesh comms in
+        let fw_lb =
+          Optim.Frank_wolfe.lower_bound ~iterations:300 model mesh comms
+        in
+        let diag = Routing.Multipath.diagonal_lower_bound model mesh comms in
+        (comms, best, fw_lb, diag))
+  in
+  let n_failed = List.length (List.filter (fun (_, b, _, _) -> b = None) pre) in
+  Format.printf
+    "  %d instances, %d defeat all six single-path heuristics@.@.  %3s %11s %14s %15s %15s %14s %9s@."
+    trials n_failed "s" "feasible" "mean power" "/(FW lb+leak)"
+    "same, cont. f" "/(diag+leak)" "rescued";
+  List.iter
+    (fun s ->
+      let feas = ref 0 and rescued = ref 0 and worse = ref 0 in
+      let power_sum = ref 0. and n_feas_cmp = ref 0 in
+      let r_fw = ref 0. and r_fw_cont = ref 0. and r_diag = ref 0. in
+      List.iter
+        (fun (comms, best, fw_lb, diag) ->
+          let sol = Optim.Smp.engine ~s model mesh comms in
+          let r = Routing.Evaluate.solution model sol in
+          if r.Routing.Evaluate.feasible then begin
+            incr feas;
+            if best = None then incr rescued;
+            incr n_feas_cmp;
+            power_sum := !power_sum +. r.total_power;
+            r_fw := !r_fw +. (r.total_power /. (fw_lb +. r.static_power));
+            let c =
+              Routing.Evaluate.solution Power.Model.kim_horowitz_continuous
+                sol
+            in
+            r_fw_cont :=
+              !r_fw_cont
+              +. c.Routing.Evaluate.total_power
+                 /. (fw_lb +. c.Routing.Evaluate.static_power);
+            r_diag := !r_diag +. (r.total_power /. (diag +. r.static_power))
+          end;
+          match best with
+          | Some (b : Routing.Best.outcome) ->
+              if
+                r.Routing.Evaluate.total_power
+                > b.report.Routing.Evaluate.total_power +. 1e-6
+              then incr worse
+          | None -> ())
+        pre;
+      let m = float_of_int (max 1 !n_feas_cmp) in
+      Format.printf "  %3d %7d/%-3d %11.1f mW %14.3f %15.3f %15.3f %6d/%-3d%s@."
+        s !feas trials (!power_sum /. m) (!r_fw /. m) (!r_fw_cont /. m)
+        (!r_diag /. m) !rescued n_failed
+        (if !worse > 0 then Printf.sprintf "  (%d WORSE than 1-MP!)" !worse
+         else ""))
+    [ 1; 2; 4; 8 ]
+
 (* E13: the paper's open problem — single source/destination pair, how much
    can single-path routing gain, and how close is it to max-MP? *)
 
@@ -809,6 +888,11 @@ let () =
     delta_bench ();
     exit 0
   end;
+  (* MANROUTE_BENCH=smp: run only the E22 s-MP sweep. *)
+  if Sys.getenv_opt "MANROUTE_BENCH" = Some "smp" then begin
+    smp_sweep ();
+    exit 0
+  end;
   Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
     (Harness.Runner.default_trials ())
     (Harness.Pool.default_jobs ());
@@ -833,6 +917,7 @@ let () =
   patterns_experiment ();
   open_problem ();
   splitting_rescue ();
+  smp_sweep ();
   mesh_scaling ();
   weight_band_ablation ();
   delta_bench ();

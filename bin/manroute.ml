@@ -108,13 +108,19 @@ let route_cmd =
       & info [ "heuristic" ]
           ~doc:
             "One of XY, SG, IG, TB, XYI, PR, $(b,all) (the paper's six), \
-             or the extensions SA (simulated annealing) and PRMP2/PRMP4 \
-             (multi-path path remover).")
+             or the extensions SA (simulated annealing), PRMP2/PRMP4 \
+             (multi-path path remover) and SMP$(i,s) — e.g. smp4 — \
+             (flow-guided s-MP: Frank-Wolfe flow rounded onto at most s \
+             paths per communication).")
   in
   (* The extensions are fault-oblivious algorithms; [of_plain] bolts the
-     degradation-aware repair pass onto them so --kill works here too. *)
+     degradation-aware repair pass onto them so --kill works here too.
+     SMP is natively fault-aware and registers itself ({!Optim.Smp.find}). *)
   let extended name =
-    match String.uppercase_ascii name with
+    match Optim.Smp.find name with
+    | Some h -> Some h
+    | None -> (
+        match String.uppercase_ascii name with
     | "SA" ->
         Some
           (Routing.Heuristic.of_plain ~name:"SA"
@@ -128,7 +134,7 @@ let route_cmd =
              ~description:"multi-path path remover"
              (fun _model mesh comms ->
                Routing.Path_remover.route_multipath ~s mesh comms))
-    | _ -> None
+        | _ -> None)
   in
   let sim_t =
     Arg.(
@@ -264,7 +270,7 @@ let figure_cmd =
       & info [] ~docv:"FIGURE"
           ~doc:
             "One of fig7a..fig7c, fig8a..fig8c, fig9a..fig9c, figf (fault \
-             sweep), or all.")
+             sweep), figs (s-MP split sweep), or all.")
   in
   let trials_t =
     Arg.(

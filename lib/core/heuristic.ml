@@ -18,14 +18,18 @@ let repair fault model s =
       Metrics.with_span "repair" (fun () -> Repair.solution f model s)
   | _ -> s
 
-let of_plain ~name ~description plain =
+let of_fault_aware ~name ~description aware =
   {
     name;
     description;
     run =
       (fun ?fault model mesh comms ->
-        repair fault model (plain model mesh comms));
+        repair fault model (aware ?fault model mesh comms));
   }
+
+let of_plain ~name ~description plain =
+  of_fault_aware ~name ~description (fun ?fault:_ model mesh comms ->
+      plain model mesh comms)
 
 let xy =
   of_plain ~name:"XY"
@@ -34,49 +38,30 @@ let xy =
     (fun _model mesh comms -> Xy.route mesh comms)
 
 let sg =
-  {
-    name = "SG";
-    description = "simple greedy: hop-by-hop least-loaded link";
-    run =
-      (fun ?fault _model mesh comms ->
-        repair fault _model (Simple_greedy.route ?fault mesh comms));
-  }
+  of_fault_aware ~name:"SG"
+    ~description:"simple greedy: hop-by-hop least-loaded link"
+    (fun ?fault _model mesh comms -> Simple_greedy.route ?fault mesh comms)
 
 let ig =
-  {
-    name = "IG";
-    description = "improved greedy: virtual pre-routing + per-step power bound";
-    run =
-      (fun ?fault model mesh comms ->
-        repair fault model (Improved_greedy.route ?fault mesh model comms));
-  }
+  of_fault_aware ~name:"IG"
+    ~description:"improved greedy: virtual pre-routing + per-step power bound"
+    (fun ?fault model mesh comms ->
+      Improved_greedy.route ?fault mesh model comms)
 
 let tb =
-  {
-    name = "TB";
-    description = "two-bend: best among all <=2-bend routings";
-    run =
-      (fun ?fault model mesh comms ->
-        repair fault model (Two_bend.route ?fault mesh model comms));
-  }
+  of_fault_aware ~name:"TB"
+    ~description:"two-bend: best among all <=2-bend routings"
+    (fun ?fault model mesh comms -> Two_bend.route ?fault mesh model comms)
 
 let xyi =
-  {
-    name = "XYI";
-    description = "XY improver: local diversions off the hottest links";
-    run =
-      (fun ?fault model mesh comms ->
-        repair fault model (Xy_improver.route ?fault mesh model comms));
-  }
+  of_fault_aware ~name:"XYI"
+    ~description:"XY improver: local diversions off the hottest links"
+    (fun ?fault model mesh comms -> Xy_improver.route ?fault mesh model comms)
 
 let pr =
-  {
-    name = "PR";
-    description = "path remover: prune the all-paths ideal spread to one path";
-    run =
-      (fun ?fault model mesh comms ->
-        repair fault model (Path_remover.route ?fault mesh comms));
-  }
+  of_fault_aware ~name:"PR"
+    ~description:"path remover: prune the all-paths ideal spread to one path"
+    (fun ?fault _model mesh comms -> Path_remover.route ?fault mesh comms)
 
 let all = [ xy; sg; ig; tb; xyi; pr ]
 let manhattan = [ sg; ig; tb; xyi; pr ]

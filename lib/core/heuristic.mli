@@ -24,6 +24,20 @@ type t = {
     Solution.t;
 }
 
+val of_fault_aware :
+  name:string ->
+  description:string ->
+  (?fault:Noc.Fault.t ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  Solution.t) ->
+  t
+(** Lift a natively fault-aware routing function into the registry
+    signature, adding the {!Repair.solution} final guard (the policy may
+    still corner itself into a dead end its native steering cannot fix).
+    All built-in policies and the s-MP engine go through this. *)
+
 val of_plain :
   name:string ->
   description:string ->

@@ -1,38 +1,80 @@
 let split_evenly ~s (comm : Traffic.Communication.t) =
   if s < 1 then invalid_arg "Multipath.split_evenly: s < 1";
-  let share = comm.rate /. float_of_int s in
-  List.init s (fun _ -> Traffic.Communication.with_rate comm ~rate:share)
+  if s = 1 then [ comm ]
+  else begin
+    let share = comm.rate /. float_of_int s in
+    (* The last part takes the exact remainder: the canonical left-to-right
+       sum of the first [s - 1] shares lies in [rate/2, rate] (for s = 2
+       the halving is exact; beyond, the head is ~rate * (s-1)/s), so by
+       Sterbenz's lemma [rate -. head] is exact and the s shares sum back
+       to [rate] bit for bit — plain [rate /. s] summed s times drifts by
+       ulps, which the delta oracle's bit-exactness contract cannot
+       absorb. *)
+    let head = Power.Model.sum_repeat share (s - 1) in
+    let last = comm.rate -. head in
+    List.init s (fun i ->
+        Traffic.Communication.with_rate comm
+          ~rate:(if i = s - 1 then last else share))
+  end
 
-let route_split ~s ~base model mesh comms =
-  let parts = List.concat_map (split_evenly ~s) comms in
-  let part_solution = base.Heuristic.run model mesh parts in
-  (* Group the parts back by parent id and coalesce identical paths. *)
+let coalesce equal parts =
+  List.fold_left
+    (fun acc (p, share) ->
+      let rec add = function
+        | [] -> [ (p, share) ]
+        | (p', share') :: rest when equal p p' -> (p', share' +. share) :: rest
+        | x :: rest -> x :: add rest
+      in
+      add acc)
+    [] parts
+
+let route_split ~s ~base ?fault model mesh comms =
+  let comms = Array.of_list comms in
+  let n = Array.length comms in
+  (* Parts get globally unique ids [parent_index * s + j]: grouping by the
+     parent's own id is wrong when two distinct communications share an id
+     (duplicate-pair workloads) and forces a rescan of every route per
+     communication. The merge below recovers the parent as [id / s] in one
+     pass over the routes. *)
+  let parts = ref [] in
+  for pi = n - 1 downto 0 do
+    let sub = split_evenly ~s comms.(pi) in
+    parts :=
+      List.rev_append
+        (List.rev
+           (List.mapi
+              (fun j part ->
+                Traffic.Communication.with_id part ~id:((pi * s) + j))
+              sub))
+        !parts
+  done;
+  let part_solution = base.Heuristic.run ?fault model mesh !parts in
+  let paths_of = Array.make n [] and detours_of = Array.make n [] in
+  List.iter
+    (fun (r : Solution.route) ->
+      let pi = r.comm.Traffic.Communication.id / s in
+      List.iter (fun ps -> paths_of.(pi) <- ps :: paths_of.(pi)) r.paths;
+      (* A fault may have detoured some parts; dropping their shares would
+         silently lose rate, so detour walks are merged alongside paths. *)
+      List.iter (fun ws -> detours_of.(pi) <- ws :: detours_of.(pi)) r.detours)
+    (Solution.routes part_solution);
   let routes =
-    List.map
-      (fun (comm : Traffic.Communication.t) ->
-        let shares =
-          List.concat_map
-            (fun (r : Solution.route) ->
-              if r.comm.Traffic.Communication.id = comm.id then r.paths
-              else [])
-            (Solution.routes part_solution)
-        in
-        let merged =
-          List.fold_left
-            (fun acc (p, share) ->
-              let rec add = function
-                | [] -> [ (p, share) ]
-                | (p', share') :: rest when Noc.Path.equal p p' ->
-                    (p', share' +. share) :: rest
-                | x :: rest -> x :: add rest
-              in
-              add acc)
-            [] shares
-        in
-        Solution.route_multi comm merged)
-      comms
+    List.init n (fun pi ->
+        Solution.route_parts comms.(pi)
+          ~paths:(coalesce Noc.Path.equal (List.rev paths_of.(pi)))
+          ~detours:(coalesce Noc.Walk.equal (List.rev detours_of.(pi))))
   in
-  Solution.make mesh routes
+  let split = Solution.make mesh routes in
+  (* Splitting evenly can hurt (forcing s paths spreads leakage over more
+     active links); never return something worse than the unsplit base. The
+     capped penalized objective equals the total power on feasible loads
+     and dominates it on infeasible ones, so one comparison orders every
+     case. *)
+  if s = 1 then split
+  else
+    let unsplit = base.Heuristic.run ?fault model mesh (Array.to_list comms) in
+    let cost sol = Evaluate.penalized model (Solution.loads ?fault sol) in
+    if cost split <= cost unsplit then split else unsplit
 
 let diagonal_lower_bound model mesh comms =
   let p = Noc.Mesh.rows mesh and q = Noc.Mesh.cols mesh in

@@ -9,21 +9,33 @@
 
 val split_evenly :
   s:int -> Traffic.Communication.t -> Traffic.Communication.t list
-(** [s] parts of rate [rate/s], all carrying the parent's id.
+(** [s] parts of rate [rate/s], all carrying the parent's id. The last
+    part carries the exact remainder [rate -. sum_repeat (rate /. s)
+    (s-1)], so the canonical left-to-right sum of the shares equals [rate]
+    bit for bit (Sterbenz) — float division alone loses ulps, which would
+    break the bit-exactness the delta oracle and the checkpointed
+    campaigns rely on.
     @raise Invalid_argument if [s < 1]. *)
 
 val route_split :
   s:int ->
   base:Heuristic.t ->
+  ?fault:Noc.Fault.t ->
   Power.Model.t ->
   Noc.Mesh.t ->
   Traffic.Communication.t list ->
   Solution.t
 (** Split every communication into [s] even parts, route the parts with the
-    base single-path heuristic as if they were independent communications,
-    and merge the parts back into multi-path routes (duplicate paths of one
-    communication are coalesced, so the result is an s'-MP solution with
-    [s' <= s]). *)
+    base single-path heuristic as if they were independent communications
+    (forwarding the fault scenario, so parts steer around dead links and
+    are repair-guarded like any other route), and merge the parts back into
+    multi-path routes — duplicate paths (and detour walks, if the repair
+    pass produced any) of one communication are coalesced, so the result is
+    an s'-MP solution with [s' <= s]. The parts are re-keyed with unique
+    ids internally; the merged routes keep the original communications.
+    Never worse than the unsplit base on the capped penalized objective:
+    if even splitting loses (leakage on extra active links), the base
+    1-MP solution is returned instead. *)
 
 val diagonal_lower_bound :
   Power.Model.t -> Noc.Mesh.t -> Traffic.Communication.t list -> float

@@ -34,20 +34,36 @@ let route_detour comm walk =
   check_walk_endpoints comm walk;
   { comm; paths = []; detours = [ (walk, comm.Traffic.Communication.rate) ] }
 
-let route_multi comm paths =
-  if paths = [] then invalid_arg "Solution.route_multi: no path";
+let check_shares ~who comm paths detours =
+  if paths = [] && detours = [] then invalid_arg (who ^ ": no part");
   List.iter
     (fun (p, share) ->
       check_endpoints comm p;
-      if share <= 0. then invalid_arg "Solution.route_multi: share <= 0")
+      if share <= 0. then invalid_arg (who ^ ": share <= 0"))
     paths;
-  let total = List.fold_left (fun s (_, x) -> s +. x) 0. paths in
+  List.iter
+    (fun (w, share) ->
+      check_walk_endpoints comm w;
+      if share <= 0. then invalid_arg (who ^ ": share <= 0"))
+    detours;
+  let total =
+    List.fold_left
+      (fun s (_, x) -> s +. x)
+      (List.fold_left (fun s (_, x) -> s +. x) 0. paths)
+      detours
+  in
   let rate = comm.Traffic.Communication.rate in
   if Float.abs (total -. rate) > 1e-6 *. Float.max 1. rate then
     invalid_arg
-      (Printf.sprintf "Solution.route_multi: shares sum to %g, rate is %g"
-         total rate);
+      (Printf.sprintf "%s: shares sum to %g, rate is %g" who total rate)
+
+let route_multi comm paths =
+  check_shares ~who:"Solution.route_multi" comm paths [];
   { comm; paths; detours = [] }
+
+let route_parts comm ~paths ~detours =
+  check_shares ~who:"Solution.route_parts" comm paths detours;
+  { comm; paths; detours }
 
 let check_cores mesh cores =
   Array.iter

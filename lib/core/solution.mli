@@ -33,6 +33,15 @@ val route_multi :
     non-positive shares, or shares not summing to the rate (1e-6 relative
     tolerance). *)
 
+val route_parts :
+  Traffic.Communication.t ->
+  paths:(Noc.Path.t * float) list ->
+  detours:(Noc.Walk.t * float) list ->
+  route
+(** General multi-part route mixing Manhattan paths and detour walks —
+    what merging a fault-repaired split solution produces. Same
+    validation as {!route_multi}, over the union of both share lists. *)
+
 val make : Noc.Mesh.t -> route list -> t
 (** @raise Invalid_argument if some path leaves the mesh. *)
 

@@ -5,6 +5,8 @@ type t = {
   xs : float list;
   generate : Traffic.Rng.t -> float -> Traffic.Communication.t list;
   scenario : (Traffic.Rng.t -> float -> Noc.Fault.t) option;
+  paired : bool;
+  heuristics : (float -> Routing.Heuristic.t list) option;
 }
 
 let mesh = Noc.Mesh.square 8
@@ -19,6 +21,8 @@ let count_sweep id title weight xs =
       (fun rng x ->
         Traffic.Workload.uniform rng mesh ~n:(int_of_float x) ~weight);
     scenario = None;
+    paired = false;
+    heuristics = None;
   }
 
 let fig7a =
@@ -43,6 +47,8 @@ let weight_sweep id title ~n xs =
       (fun rng x ->
         Traffic.Workload.uniform rng mesh ~n ~weight:(Traffic.Workload.around x));
     scenario = None;
+    paired = false;
+    heuristics = None;
   }
 
 let fig8a =
@@ -68,6 +74,8 @@ let length_sweep id title ~n weight =
         Traffic.Workload.with_length rng mesh ~n ~weight
           ~target:(int_of_float x));
     scenario = None;
+    paired = false;
+    heuristics = None;
   }
 
 let fig9a =
@@ -83,12 +91,11 @@ let fig9c =
     (Traffic.Workload.weight ~lo:2700. ~hi:3300.)
 
 (* Fault sweep (beyond the paper): a fixed workload while the x axis kills
-   ever more links. Scenario figures get a trial rng keyed without x (see
+   ever more links. Paired figures get a trial rng keyed without x (see
    {!Runner.run}), and the workload is drawn from it before the fault, so
    trial [t] carries the same 32 communications at every x and — because
    {!Noc.Fault.random_dead} samples kills sequentially — each row's dead
-   set extends the previous row's. The sweep is paired: only the damage
-   level varies along x. *)
+   set extends the previous row's. Only the damage level varies along x. *)
 let figf =
   {
     id = "figf";
@@ -103,10 +110,38 @@ let figf =
         (fun rng x ->
           Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng)
             ~kills:(int_of_float x) mesh);
+    paired = true;
+    heuristics = None;
+  }
+
+(* Split sweep (beyond the paper): the x axis is the per-communication
+   path budget [s] of the flow-guided s-MP engine. Paired like figf —
+   trial [t] draws the same 25 mixed communications at every s, so the
+   SMP column descends along x by construction while the six single-path
+   cells stay flat (they ignore s). The mixed-weight workload is dense
+   enough that single-path routing sometimes fails outright where
+   splitting is certified feasible — the failure-ratio recovery the
+   s-sweep is meant to exhibit. *)
+let figs =
+  {
+    id = "figs";
+    title = "Fig. S: split sweep, 25 mixed comms vs allowed paths";
+    xlabel = "allowed paths per communication (s)";
+    xs = [ 1.; 2.; 4.; 8. ];
+    generate =
+      (fun rng _ ->
+        Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed);
+    scenario = None;
+    paired = true;
+    heuristics =
+      Some
+        (fun x ->
+          Routing.Heuristic.all
+          @ [ Optim.Smp.heuristic ~name:"SMP" ~s:(int_of_float x) () ]);
   }
 
 let all =
-  [ fig7a; fig7b; fig7c; fig8a; fig8b; fig8c; fig9a; fig9b; fig9c; figf ]
+  [ fig7a; fig7b; fig7c; fig8a; fig8b; fig8c; fig9a; fig9b; fig9c; figf; figs ]
 
 let find id =
   let id = String.lowercase_ascii id in

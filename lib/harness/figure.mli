@@ -16,6 +16,17 @@ type t = {
       (** Fault scenario for a given x, drawn from the same per-trial rng
           {e after} the workload — so the communications of a trial do not
           depend on the damage. [None] means a healthy mesh. *)
+  paired : bool;
+      (** Paired sweeps key the trial rng as if [x] were 0, so trial [t]
+          draws the same workload at every x — the swept parameter (fault
+          damage for {!figf}, the path budget for {!figs}) is the only
+          thing varying along the axis, and the columns are monotone by
+          construction instead of up to Monte-Carlo noise. *)
+  heuristics : (float -> Routing.Heuristic.t list) option;
+      (** Per-x heuristic set, overriding the runner's default — for
+          sweeps whose x parameterizes a heuristic ({!figs}). Must yield
+          the same cell names at every x (the CSV has one column family
+          per name). *)
 }
 
 val mesh : Noc.Mesh.t
@@ -56,8 +67,16 @@ val figf : t
     {!Noc.Fault.random_dead}). Plots how the failure ratio and the power
     overhead of detours grow with the damage. *)
 
+val figs : t
+(** Split sweep: 25 mixed communications on the 8x8 CMP while the x axis
+    raises the flow-guided s-MP engine's path budget s through 1, 2, 4, 8
+    ({!Optim.Smp}, cell name [SMP]) next to the six single-path cells.
+    Paired: the same workloads at every s, so the SMP power column
+    descends toward the fractional lower bound and its failure ratio
+    drops on instances no single path can carry. *)
+
 val all : t list
-(** The nine paper figures in paper order, then {!figf}. *)
+(** The nine paper figures in paper order, then {!figf} and {!figs}. *)
 
 val find : string -> t option
 (** Lookup by [id] (case-insensitive). *)

@@ -23,8 +23,8 @@ let csv (r : Runner.result) =
   List.iter
     (fun name ->
       Buffer.add_string buf
-        (Printf.sprintf ",%s_norm,%s_stderr,%s_fail,%s_err,%s_detour" name name
-           name name name);
+        (Printf.sprintf ",%s_norm,%s_stderr,%s_fail,%s_err,%s_detour,%s_power"
+           name name name name name name);
       Buffer.add_string buf
         (Printf.sprintf ",%s_paths,%s_dp,%s_bb,%s_reroutes,%s_evals" name name
            name name name);
@@ -39,6 +39,12 @@ let csv (r : Runner.result) =
           Buffer.add_string buf
             (Printf.sprintf ",%.6f,%.6f,%.6f,%.6f,%.6f" s.norm_inv_power
                s.norm_stderr s.failure_ratio s.error_ratio s.mean_detour_hops);
+          (* Mean power over the successful trials; empty when every trial
+             failed (the column would otherwise need a sentinel). *)
+          Buffer.add_string buf
+            (match s.mean_power with
+            | Some p -> Printf.sprintf ",%.6f" p
+            | None -> ",");
           let c = s.counters in
           Buffer.add_string buf
             (Printf.sprintf ",%d,%d,%d,%d,%d,%d" c.Routing.Metrics.paths_scored

@@ -80,13 +80,15 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
     "trial"
   @@ fun () ->
   let trial_before = Routing.Metrics.snapshot () in
-  (* Fault-sweep figures pair their trials across x: the rng is keyed by
-     the trial alone, so trial [t] draws the same communications at every
-     x, and scenario generators that sample kills sequentially (e.g.
-     {!Noc.Fault.random_dead}) draw nested fault sets — row [x+dx] damages
-     a superset of row [x]'s links. The sweep is then monotone by
-     construction instead of up to Monte-Carlo noise. *)
-  let rng_x = if figure.Figure.scenario = None then x else 0. in
+  (* Paired figures key their trials across x: the rng is keyed by the
+     trial alone, so trial [t] draws the same communications at every x.
+     Scenario generators that sample kills sequentially (e.g.
+     {!Noc.Fault.random_dead}) then draw nested fault sets — row [x+dx]
+     damages a superset of row [x]'s links — and parameter sweeps like the
+     s-MP path budget see the very same instances at every budget. The
+     sweep is monotone by construction instead of up to Monte-Carlo
+     noise. *)
+  let rng_x = if figure.Figure.paired then 0. else x in
   let rng = trial_rng ~figure_id:figure.Figure.id ~x:rng_x ~seed ~trial:t in
   (* The workload comes off the rng before the fault, so a trial's
      communications are the same whatever the scenario does with x. *)
@@ -278,7 +280,12 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
     ?(heuristics = Routing.Heuristic.all) ?jobs ?summary ?checkpoint ?progress
     figure =
   let trials = match trials with Some t -> t | None -> default_trials () in
-  let names = cell_names heuristics in
+  (* Figures may parameterize their heuristic set by x ({!Figure.figs});
+     the cell names must not change along the sweep, so the first row's
+     names serve for the whole CSV. *)
+  let heuristics_at x =
+    match figure.Figure.heuristics with Some f -> f x | None -> heuristics
+  in
   let key =
     { Checkpoint.figure_id = figure.Figure.id; seed; trials }
   in
@@ -317,6 +324,8 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
               ~args:[ ("x", Printf.sprintf "%g" x) ]
               "row"
             @@ fun () ->
+            let heuristics = heuristics_at x in
+            let names = cell_names heuristics in
             let f = run_trial ~model ~heuristics ~figure ~x ~seed in
             let f =
               match progress with

@@ -59,6 +59,12 @@ let merge ~into src =
   into.count <- into.count + src.count
 
 type per_h = {
+  mutable seen : int;
+      (* Observations registering this name: figures may carry extra
+         per-figure heuristics (figs' SMP), so a name's population can be
+         a strict subset of the instances and ratios must divide by its
+         own registration count. For the always-on heuristics this equals
+         [acc.count] and the quotients are unchanged bit for bit. *)
   mutable succ : int;
   mutable inv_sum : float;
   mutable time_s : float;
@@ -78,7 +84,7 @@ type t = {
   counters : (string * Routing.Metrics.counters) list;
 }
 
-let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "BEST" ]
+let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "SMP"; "BEST" ]
 
 (* Nearest-rank quantile on the retained runtimes: exact, no
    interpolation, deterministic for a fixed observation order. *)
@@ -94,6 +100,7 @@ let finalize (acc : acc) =
     | None ->
         let e =
           {
+            seen = 0;
             succ = 0;
             inv_sum = 0.;
             time_s = 0.;
@@ -111,6 +118,7 @@ let finalize (acc : acc) =
       List.iter
         (fun (name, inv) ->
           let e = entry name in
+          e.seen <- e.seen + 1;
           match inv with
           | Some v ->
               e.succ <- e.succ + 1;
@@ -133,16 +141,16 @@ let finalize (acc : acc) =
         (fun (name, c) -> Routing.Metrics.add ~into:(entry name).work c)
         obs.o_counters)
     (List.rev acc.obs_rev);
-  let n = float_of_int (max 1 acc.count) in
   let names = List.filter (fun name -> Hashtbl.mem table name) order in
   let per f = List.map (fun name -> (name, f (Hashtbl.find table name))) names in
-  let mean_inv = per (fun e -> e.inv_sum /. n) in
+  let pop e = float_of_int (max 1 e.seen) in
+  let mean_inv = per (fun e -> e.inv_sum /. pop e) in
   let xy_inv =
     match List.assoc_opt "XY" mean_inv with Some v -> v | None -> 0.
   in
   {
     instances = acc.count;
-    success_ratio = per (fun e -> float_of_int e.succ /. n);
+    success_ratio = per (fun e -> float_of_int e.succ /. pop e);
     mean_inverse_power = mean_inv;
     inverse_power_vs_xy =
       (if xy_inv > 0. then

@@ -28,21 +28,37 @@ let rect_links mesh rect =
   done;
   Array.of_list !ids
 
-(* Ideal diagonal spread of the communication (Figure 3), as a warm start. *)
+(* Even-branching spread as a warm start: every core forwards its inflow
+   in equal halves (or whole) along its forward links. This approximates
+   the paper's Figure 3 diagonal spread while being a genuine flow — the
+   per-diagonal even spread balances steps but not cores, and a
+   non-conserved start would leave every FW iterate non-conserved too,
+   breaking the decomposability {!solve_flows} promises. *)
 let initial_flow mesh (comm : Traffic.Communication.t) =
   let rect = Traffic.Communication.rect comm in
   let link_ids = rect_links mesh rect in
   let shares = Array.make (Array.length link_ids) 0. in
   let pos = Hashtbl.create 16 in
   Array.iteri (fun i id -> Hashtbl.replace pos id i) link_ids;
+  let inflow = Coord_tbl.create 16 in
+  Coord_tbl.replace inflow comm.src comm.rate;
   for k = 0 to Noc.Rect.length rect - 1 do
-    let links = Noc.Rect.links_on_step rect k in
-    let share = comm.rate /. float_of_int (List.length links) in
     List.iter
-      (fun l ->
-        let i = Hashtbl.find pos (Noc.Mesh.link_id mesh l) in
-        shares.(i) <- shares.(i) +. share)
-      links
+      (fun core ->
+        match Coord_tbl.find_opt inflow core with
+        | None -> ()
+        | Some f ->
+            let outs = Noc.Rect.out_links rect core in
+            let share = f /. float_of_int (List.length outs) in
+            List.iter
+              (fun (l : Noc.Mesh.link) ->
+                let i = Hashtbl.find pos (Noc.Mesh.link_id mesh l) in
+                shares.(i) <- shares.(i) +. share;
+                Coord_tbl.replace inflow l.dst
+                  (share
+                  +. Option.value ~default:0. (Coord_tbl.find_opt inflow l.dst)))
+              outs)
+      (Noc.Rect.cores_on_step rect k)
   done;
   { comm; rect; link_ids; shares }
 
@@ -85,7 +101,8 @@ let shortest_shares mesh weights fl =
 
 (* Generic Frank-Wolfe over the product of per-communication path
    polytopes, for a separable convex objective given by per-link [value]
-   and [slope]. *)
+   and [slope]. Returns the final per-communication flows alongside the
+   aggregate result: the s-MP engine decomposes them into paths. *)
 let solve_generic ~iterations ~value ~slope mesh comms =
   let flows = List.map (initial_flow mesh) comms in
   let loads = Noc.Load.create mesh in
@@ -157,9 +174,10 @@ let solve_generic ~iterations ~value ~slope mesh comms =
            flows targets
      done
    with Exit -> ());
-  { loads; objective = objective_of (); gap = !gap; iterations = !iters }
+  ( { loads; objective = objective_of (); gap = !gap; iterations = !iters },
+    flows )
 
-let solve ?(iterations = 200) model mesh comms =
+let power_objective model =
   let alpha = model.Power.Model.alpha
   and p0 = model.Power.Model.p0
   and scale = model.Power.Model.gbps_scale in
@@ -169,7 +187,14 @@ let solve ?(iterations = 200) model mesh comms =
     if load <= 0. then 0.
     else alpha *. p0 /. scale *. Float.pow (load /. scale) (alpha -. 1.)
   in
+  (value, slope)
+
+let solve_flows ?(iterations = 200) model mesh comms =
+  let value, slope = power_objective model in
   solve_generic ~iterations ~value ~slope mesh comms
+
+let solve ?iterations model mesh comms =
+  fst (solve_flows ?iterations model mesh comms)
 
 let lower_bound ?iterations model mesh comms =
   let r = solve ?iterations model mesh comms in
@@ -184,7 +209,7 @@ let min_overload ?(iterations = 400) model mesh comms =
     let e = load -. cap in
     if e > 0. then 2. *. e else 0.
   in
-  let r = solve_generic ~iterations ~value ~slope mesh comms in
+  let r, _ = solve_generic ~iterations ~value ~slope mesh comms in
   let worst =
     Noc.Load.fold
       (fun _ load acc -> Float.max acc (load -. cap))

@@ -22,6 +22,16 @@ type result = {
   iterations : int;
 }
 
+type flow = {
+  comm : Traffic.Communication.t;
+  rect : Noc.Rect.t;  (** The communication's bounding rectangle. *)
+  link_ids : int array;  (** All rectangle links, fixed order. *)
+  shares : float array;
+      (** Flow on [link_ids.(i)], in rate units. Conserved: at every
+          rectangle core but the endpoints, inflow equals outflow, and
+          the source emits exactly [comm.rate]. *)
+}
+
 val solve :
   ?iterations:int ->
   Power.Model.t ->
@@ -31,6 +41,16 @@ val solve :
 (** Runs [iterations] Frank–Wolfe steps (default 200) with exact line
     search, starting from the per-communication ideal diagonal spread.
     Only [p0], [alpha] and [gbps_scale] of the model are used. *)
+
+val solve_flows :
+  ?iterations:int ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  result * flow list
+(** {!solve}, also returning the final fractional flow of every
+    communication (in input order) — the raw material path-stripping
+    decomposes into weighted Manhattan paths ({!Smp}). *)
 
 val lower_bound :
   ?iterations:int ->

@@ -6,7 +6,7 @@ let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
 
 let test_figures_registered () =
-  check_int "ten figures" 10 (List.length Harness.Figure.all);
+  check_int "eleven figures" 11 (List.length Harness.Figure.all);
   check_bool "find fig8b" true
     (match Harness.Figure.find "FIG8B" with
     | Some f -> f.Harness.Figure.id = "fig8b"
@@ -49,6 +49,8 @@ let tiny_figure =
         Traffic.Workload.uniform rng Harness.Figure.mesh ~n:(int_of_float x)
           ~weight:Traffic.Workload.small);
     scenario = None;
+    paired = false;
+    heuristics = None;
   }
 
 let test_runner_bookkeeping () =
