@@ -11,7 +11,8 @@
    Monte-Carlo campaigns (default: the machine's core count) — results are
    bit-identical for any value; MANROUTE_SKIP_BECHAMEL=1 skips part 2;
    MANROUTE_BENCH=delta runs only the E21 delta-engine micro-benchmark;
-   MANROUTE_BENCH=smp runs only the E22 s-MP sweep. *)
+   MANROUTE_BENCH=smp runs only the E22 s-MP sweep;
+   MANROUTE_BENCH=pf runs only the E23 PathFinder sweep. *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -518,30 +519,103 @@ let smp_sweep () =
     "  %d instances, %d defeat all six single-path heuristics@.@.  %3s %11s %14s %15s %15s %14s %9s@."
     trials n_failed "s" "feasible" "mean power" "/(FW lb+leak)"
     "same, cont. f" "/(diag+leak)" "rescued";
+  let row label solve =
+    let feas = ref 0 and rescued = ref 0 and worse = ref 0 in
+    let power_sum = ref 0. and n_feas_cmp = ref 0 in
+    let r_fw = ref 0. and r_fw_cont = ref 0. and r_diag = ref 0. in
+    List.iter
+      (fun (comms, best, fw_lb, diag) ->
+        let sol = solve comms in
+        let r = Routing.Evaluate.solution model sol in
+        if r.Routing.Evaluate.feasible then begin
+          incr feas;
+          if best = None then incr rescued;
+          incr n_feas_cmp;
+          power_sum := !power_sum +. r.total_power;
+          r_fw := !r_fw +. (r.total_power /. (fw_lb +. r.static_power));
+          let c =
+            Routing.Evaluate.solution Power.Model.kim_horowitz_continuous sol
+          in
+          r_fw_cont :=
+            !r_fw_cont
+            +. c.Routing.Evaluate.total_power
+               /. (fw_lb +. c.Routing.Evaluate.static_power);
+          r_diag := !r_diag +. (r.total_power /. (diag +. r.static_power))
+        end;
+        match best with
+        | Some (b : Routing.Best.outcome) ->
+            if
+              r.Routing.Evaluate.total_power
+              > b.report.Routing.Evaluate.total_power +. 1e-6
+            then incr worse
+        | None -> ())
+      pre;
+    let m = float_of_int (max 1 !n_feas_cmp) in
+    Format.printf "  %3s %7d/%-3d %11.1f mW %14.3f %15.3f %15.3f %6d/%-3d%s@."
+      label !feas trials (!power_sum /. m) (!r_fw /. m) (!r_fw_cont /. m)
+      (!r_diag /. m) !rescued n_failed
+      (if !worse > 0 then Printf.sprintf "  (%d WORSE than 1-MP!)" !worse
+       else "")
+  in
   List.iter
     (fun s ->
+      row (string_of_int s) (fun comms -> Optim.Smp.engine ~s model mesh comms))
+    [ 1; 2; 4; 8 ];
+  (* The single-path competitor on the same instances: negotiated
+     congestion never splits, so its row is directly comparable to s=1. *)
+  row "pf" (fun comms -> Optim.Pathfinder.engine model mesh comms)
+
+(* E23: the negotiated-congestion engine — how many passes the
+   rip-up-and-reroute negotiation needs. Same 40 instances as E22 (same
+   seed, same draw order), so the "rescued" column is judged against the
+   very instances the s-MP study pins. Each row caps the iterations;
+   more passes monotonically improve the same instance (identical
+   initial routing, more negotiation on top). The rips column is the
+   ripped-and-rerouted communication count off {!Routing.Metrics}, and
+   the gap column is total power over the leakage-augmented Frank-Wolfe
+   fractional lower bound — the distance that remains to the best
+   splitting could ever do. *)
+
+let pf_sweep () =
+  section
+    "E23 | PathFinder: negotiated congestion vs iteration cap (8x8, 25 mixed)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 313 in
+  let trials = Int.min 40 (Harness.Runner.default_trials ()) in
+  let pre =
+    List.init trials (fun _ ->
+        let comms =
+          Traffic.Workload.uniform rng mesh ~n:25
+            ~weight:Traffic.Workload.mixed
+        in
+        let best = Routing.Best.route model mesh comms in
+        let fw_lb =
+          Optim.Frank_wolfe.lower_bound ~iterations:300 model mesh comms
+        in
+        (comms, best, fw_lb))
+  in
+  let n_failed = List.length (List.filter (fun (_, b, _) -> b = None) pre) in
+  Format.printf
+    "  %d instances, %d defeat all six single-path heuristics@.@.  %4s %11s %14s %15s %9s %9s@."
+    trials n_failed "cap" "feasible" "mean power" "/(FW lb+leak)" "rescued"
+    "rips/inst";
+  List.iter
+    (fun cap ->
       let feas = ref 0 and rescued = ref 0 and worse = ref 0 in
-      let power_sum = ref 0. and n_feas_cmp = ref 0 in
-      let r_fw = ref 0. and r_fw_cont = ref 0. and r_diag = ref 0. in
+      let power_sum = ref 0. and n_feas = ref 0 in
+      let r_fw = ref 0. in
+      let before = Routing.Metrics.snapshot () in
       List.iter
-        (fun (comms, best, fw_lb, diag) ->
-          let sol = Optim.Smp.engine ~s model mesh comms in
+        (fun (comms, best, fw_lb) ->
+          let sol = Optim.Pathfinder.engine ~iterations:cap model mesh comms in
           let r = Routing.Evaluate.solution model sol in
           if r.Routing.Evaluate.feasible then begin
             incr feas;
             if best = None then incr rescued;
-            incr n_feas_cmp;
+            incr n_feas;
             power_sum := !power_sum +. r.total_power;
-            r_fw := !r_fw +. (r.total_power /. (fw_lb +. r.static_power));
-            let c =
-              Routing.Evaluate.solution Power.Model.kim_horowitz_continuous
-                sol
-            in
-            r_fw_cont :=
-              !r_fw_cont
-              +. c.Routing.Evaluate.total_power
-                 /. (fw_lb +. c.Routing.Evaluate.static_power);
-            r_diag := !r_diag +. (r.total_power /. (diag +. r.static_power))
+            r_fw := !r_fw +. (r.total_power /. (fw_lb +. r.static_power))
           end;
           match best with
           | Some (b : Routing.Best.outcome) ->
@@ -551,13 +625,17 @@ let smp_sweep () =
               then incr worse
           | None -> ())
         pre;
-      let m = float_of_int (max 1 !n_feas_cmp) in
-      Format.printf "  %3d %7d/%-3d %11.1f mW %14.3f %15.3f %15.3f %6d/%-3d%s@."
-        s !feas trials (!power_sum /. m) (!r_fw /. m) (!r_fw_cont /. m)
-        (!r_diag /. m) !rescued n_failed
-        (if !worse > 0 then Printf.sprintf "  (%d WORSE than 1-MP!)" !worse
+      let rips =
+        (Routing.Metrics.diff (Routing.Metrics.snapshot ()) before)
+          .Routing.Metrics.pf_rips
+      in
+      let m = float_of_int (max 1 !n_feas) in
+      Format.printf "  %4d %7d/%-3d %11.1f mW %14.3f %6d/%-3d %9.1f%s@." cap
+        !feas trials (!power_sum /. m) (!r_fw /. m) !rescued n_failed
+        (float_of_int rips /. float_of_int trials)
+        (if !worse > 0 then Printf.sprintf "  (%d WORSE than BEST!)" !worse
          else ""))
-    [ 1; 2; 4; 8 ]
+    [ 1; 2; 4; 8; 16; 32 ]
 
 (* E13: the paper's open problem — single source/destination pair, how much
    can single-path routing gain, and how close is it to max-MP? *)
@@ -893,6 +971,11 @@ let () =
     smp_sweep ();
     exit 0
   end;
+  (* MANROUTE_BENCH=pf: run only the E23 PathFinder sweep. *)
+  if Sys.getenv_opt "MANROUTE_BENCH" = Some "pf" then begin
+    pf_sweep ();
+    exit 0
+  end;
   Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
     (Harness.Runner.default_trials ())
     (Harness.Pool.default_jobs ());
@@ -918,6 +1001,7 @@ let () =
   open_problem ();
   splitting_rescue ();
   smp_sweep ();
+  pf_sweep ();
   mesh_scaling ();
   weight_band_ablation ();
   delta_bench ();

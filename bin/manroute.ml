@@ -101,6 +101,31 @@ let load_instance mesh seed n (lo, hi) file =
 
 (* ---------------- route ---------------- *)
 
+(* Every engine family living above the core registry, reachable by name
+   through {!Routing.Heuristic.find_extended}: the natively fault-aware
+   Optim engines (s-MP and PathFinder) and the fault-oblivious reference
+   extensions ([of_plain] bolts the degradation-aware repair pass onto
+   those so --kill works there too). *)
+let () =
+  Routing.Heuristic.register Optim.Smp.find;
+  Routing.Heuristic.register Optim.Pathfinder.find;
+  Routing.Heuristic.register (fun name ->
+      match String.uppercase_ascii name with
+      | "SA" ->
+          Some
+            (Routing.Heuristic.of_plain ~name:"SA"
+               ~description:"simulated annealing (reference)"
+               (fun model mesh comms -> Routing.Annealer.route mesh model comms))
+      | "PRMP2" | "PRMP4" ->
+          let s = if String.uppercase_ascii name = "PRMP2" then 2 else 4 in
+          Some
+            (Routing.Heuristic.of_plain
+               ~name:(String.uppercase_ascii name)
+               ~description:"multi-path path remover"
+               (fun _model mesh comms ->
+                 Routing.Path_remover.route_multipath ~s mesh comms))
+      | _ -> None)
+
 let route_cmd =
   let heuristic_t =
     Arg.(
@@ -109,32 +134,11 @@ let route_cmd =
           ~doc:
             "One of XY, SG, IG, TB, XYI, PR, $(b,all) (the paper's six), \
              or the extensions SA (simulated annealing), PRMP2/PRMP4 \
-             (multi-path path remover) and SMP$(i,s) — e.g. smp4 — \
+             (multi-path path remover), SMP$(i,s) — e.g. smp4 — \
              (flow-guided s-MP: Frank-Wolfe flow rounded onto at most s \
-             paths per communication).")
-  in
-  (* The extensions are fault-oblivious algorithms; [of_plain] bolts the
-     degradation-aware repair pass onto them so --kill works here too.
-     SMP is natively fault-aware and registers itself ({!Optim.Smp.find}). *)
-  let extended name =
-    match Optim.Smp.find name with
-    | Some h -> Some h
-    | None -> (
-        match String.uppercase_ascii name with
-    | "SA" ->
-        Some
-          (Routing.Heuristic.of_plain ~name:"SA"
-             ~description:"simulated annealing (reference)"
-             (fun model mesh comms -> Routing.Annealer.route mesh model comms))
-    | "PRMP2" | "PRMP4" ->
-        let s = if String.uppercase_ascii name = "PRMP2" then 2 else 4 in
-        Some
-          (Routing.Heuristic.of_plain
-             ~name:(String.uppercase_ascii name)
-             ~description:"multi-path path remover"
-             (fun _model mesh comms ->
-               Routing.Path_remover.route_multipath ~s mesh comms))
-        | _ -> None)
+             paths per communication) and PF$(i,n) — e.g. pf, pf16 — \
+             (negotiated-congestion PathFinder rip-up-and-reroute, at \
+             most n iterations).")
   in
   let sim_t =
     Arg.(
@@ -184,10 +188,9 @@ let route_cmd =
         let heuristics =
           if heuristic = "all" then Routing.Heuristic.all
           else
-            match (Routing.Heuristic.find heuristic, extended heuristic) with
-            | Some h, _ -> [ h ]
-            | None, Some h -> [ h ]
-            | None, None ->
+            match Routing.Heuristic.find_extended heuristic with
+            | Some h -> [ h ]
+            | None ->
                 Printf.eprintf "unknown heuristic %s\n" heuristic;
                 exit 1
         in
@@ -270,7 +273,8 @@ let figure_cmd =
       & info [] ~docv:"FIGURE"
           ~doc:
             "One of fig7a..fig7c, fig8a..fig8c, fig9a..fig9c, figf (fault \
-             sweep), figs (s-MP split sweep), or all.")
+             sweep), figs (s-MP split sweep), figpf (PathFinder \
+             iteration-cap sweep), or all.")
   in
   let trials_t =
     Arg.(

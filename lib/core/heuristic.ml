@@ -69,3 +69,19 @@ let manhattan = [ sg; ig; tb; xyi; pr ]
 let find name =
   let name = String.uppercase_ascii name in
   List.find_opt (fun h -> h.name = name) all
+
+(* Dynamic resolvers for policy *families* living above this library
+   (Optim's s-MP and PathFinder engines, the CLI's SA/PRMP extensions):
+   a resolver parses a spelling like "smp4" or "pf(16)" into a fresh
+   heuristic. Consulted in registration order after the builtins, so a
+   name always resolves the same way however many resolvers are in. *)
+let resolvers : (string -> t option) list ref = ref []
+let register resolve = resolvers := !resolvers @ [ resolve ]
+
+let find_extended name =
+  match find name with
+  | Some h -> Some h
+  | None ->
+      List.fold_left
+        (fun acc resolve -> match acc with Some _ -> acc | None -> resolve name)
+        None !resolvers

@@ -5,6 +5,8 @@ type counters = {
   mutable detour_searches : int;
   mutable feasibility_checks : int;
   mutable delta_evals : int;
+  mutable pf_iterations : int;
+  mutable pf_rips : int;
 }
 
 let zero () =
@@ -15,6 +17,8 @@ let zero () =
     detour_searches = 0;
     feasibility_checks = 0;
     delta_evals = 0;
+    pf_iterations = 0;
+    pf_rips = 0;
   }
 
 (* One block per domain: increments never contend, and a trial runs
@@ -32,6 +36,8 @@ let snapshot () =
     detour_searches = c.detour_searches;
     feasibility_checks = c.feasibility_checks;
     delta_evals = c.delta_evals;
+    pf_iterations = c.pf_iterations;
+    pf_rips = c.pf_rips;
   }
 
 let diff a b =
@@ -42,6 +48,8 @@ let diff a b =
     detour_searches = a.detour_searches - b.detour_searches;
     feasibility_checks = a.feasibility_checks - b.feasibility_checks;
     delta_evals = a.delta_evals - b.delta_evals;
+    pf_iterations = a.pf_iterations - b.pf_iterations;
+    pf_rips = a.pf_rips - b.pf_rips;
   }
 
 let add ~into c =
@@ -50,12 +58,15 @@ let add ~into c =
   into.bb_nodes <- into.bb_nodes + c.bb_nodes;
   into.detour_searches <- into.detour_searches + c.detour_searches;
   into.feasibility_checks <- into.feasibility_checks + c.feasibility_checks;
-  into.delta_evals <- into.delta_evals + c.delta_evals
+  into.delta_evals <- into.delta_evals + c.delta_evals;
+  into.pf_iterations <- into.pf_iterations + c.pf_iterations;
+  into.pf_rips <- into.pf_rips + c.pf_rips
 
 let is_zero c =
   c.paths_scored = 0 && c.dp_cells = 0 && c.bb_nodes = 0
   && c.detour_searches = 0
   && c.feasibility_checks = 0 && c.delta_evals = 0
+  && c.pf_iterations = 0 && c.pf_rips = 0
 
 let equal a b =
   a.paths_scored = b.paths_scored
@@ -64,6 +75,8 @@ let equal a b =
   && a.detour_searches = b.detour_searches
   && a.feasibility_checks = b.feasibility_checks
   && a.delta_evals = b.delta_evals
+  && a.pf_iterations = b.pf_iterations
+  && a.pf_rips = b.pf_rips
 
 let pp ppf c =
   if is_zero c then Format.pp_print_string ppf "-"
@@ -81,7 +94,9 @@ let pp ppf c =
     field "bb" c.bb_nodes;
     field "detours" c.detour_searches;
     field "evals" c.feasibility_checks;
-    field "delta" c.delta_evals
+    field "delta" c.delta_evals;
+    field "pf-it" c.pf_iterations;
+    field "pf-rips" c.pf_rips
   end
 
 let span_hook : (string -> unit -> unit) option Atomic.t = Atomic.make None

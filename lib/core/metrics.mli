@@ -29,7 +29,12 @@
       occupancy reads in the heuristic hot paths. Counted identically
       whether the memoized table or the legacy direct computation backs
       the lookup, so campaign rows match across [MANROUTE_DELTA]
-      settings. *)
+      settings.
+    - [pf_iterations]: outer negotiation passes of the PathFinder-style
+      rip-up-and-reroute engine ({!Optim.Pathfinder}) — one per sweep
+      over all communications.
+    - [pf_rips]: communications ripped off an overloaded link and
+      rerouted by that engine (the initial routing pass is not a rip). *)
 
 type counters = {
   mutable paths_scored : int;
@@ -38,6 +43,8 @@ type counters = {
   mutable detour_searches : int;
   mutable feasibility_checks : int;
   mutable delta_evals : int;
+  mutable pf_iterations : int;
+  mutable pf_rips : int;
 }
 
 val zero : unit -> counters
@@ -63,8 +70,8 @@ val is_zero : counters -> bool
 val equal : counters -> counters -> bool
 
 val pp : Format.formatter -> counters -> unit
-(** ["paths=… dp=… bb=… detours=… evals=… delta=…"], omitting zero
-    fields; ["-"] when all are zero. *)
+(** ["paths=… dp=… bb=… detours=… evals=… delta=… pf-it=… pf-rips=…"],
+    omitting zero fields; ["-"] when all are zero. *)
 
 (** {1 Span hook}
 

@@ -59,6 +59,8 @@ let line key ~x cells =
              string_of_int c.counters.Routing.Metrics.detour_searches;
              string_of_int c.counters.Routing.Metrics.feasibility_checks;
              string_of_int c.counters.Routing.Metrics.delta_evals;
+             string_of_int c.counters.Routing.Metrics.pf_iterations;
+             string_of_int c.counters.Routing.Metrics.pf_rips;
            ]))
     cells;
   Buffer.contents buf
@@ -100,21 +102,25 @@ let parse_msg s =
     | exception _ -> None
   else None
 
-let parse_counters ?(de = "0") p d b ds fc =
+let parse_counters ?(de = "0") ?(pi = "0") ?(pr = "0") p d b ds fc =
   match
     ( int_of_string_opt p,
       int_of_string_opt d,
       int_of_string_opt b,
       int_of_string_opt ds,
       int_of_string_opt fc,
-      int_of_string_opt de )
+      int_of_string_opt de,
+      int_of_string_opt pi,
+      int_of_string_opt pr )
   with
   | ( Some paths_scored,
       Some dp_cells,
       Some bb_nodes,
       Some detour_searches,
       Some feasibility_checks,
-      Some delta_evals ) ->
+      Some delta_evals,
+      Some pf_iterations,
+      Some pf_rips ) ->
       Some
         {
           Routing.Metrics.paths_scored;
@@ -123,21 +129,25 @@ let parse_counters ?(de = "0") p d b ds fc =
           detour_searches;
           feasibility_checks;
           delta_evals;
+          pf_iterations;
+          pf_rips;
         }
   | _ -> None
 
 let parse_cells n fields =
   (* Checkpoints written before the telemetry layer carry 8 fields per
-     cell; the telemetry layer appended five counter ints (13), and the
-     delta engine a sixth (14). Same magic, same version: the arity is
-     read off the total field count, so old resume files keep loading —
-     missing counters parse as zero. *)
+     cell; the telemetry layer appended five counter ints (13), the
+     delta engine a sixth (14), and the PathFinder engine two more (16).
+     Same magic, same version: the arity is read off the total field
+     count, so old resume files keep loading — missing counters parse
+     as zero. *)
   let arity =
     match List.length fields with
+    | len when n > 0 && len = n * 16 -> `Counters8
     | len when n > 0 && len = n * 14 -> `Counters6
     | len when n > 0 && len = n * 13 -> `Counters5
     | len when len = n * 8 -> `NoCounters
-    | _ -> `Counters6 (* wrong shape either way; fail in the loop below *)
+    | _ -> `Counters8 (* wrong shape either way; fail in the loop below *)
   in
   let rec go acc k = function
     | [] when k = 0 -> Some (List.rev acc)
@@ -154,6 +164,11 @@ let parse_cells n fields =
               match tl with
               | p :: d :: b :: ds :: fc :: de :: tl ->
                   (parse_counters ~de p d b ds fc, tl)
+              | _ -> (None, tl))
+          | `Counters8 -> (
+              match tl with
+              | p :: d :: b :: ds :: fc :: de :: pi :: pr :: tl ->
+                  (parse_counters ~de ~pi ~pr p d b ds fc, tl)
               | _ -> (None, tl))
         in
         match

@@ -140,8 +140,48 @@ let figs =
           @ [ Optim.Smp.heuristic ~name:"SMP" ~s:(int_of_float x) () ]);
   }
 
+(* Negotiation sweep (beyond the paper): the x axis is the iteration cap
+   of the PathFinder rip-up-and-reroute engine. Paired like figs — trial
+   [t] draws the same 25 mixed communications at every cap, so the PF
+   column can only improve (more negotiation passes on the identical
+   instance) while the six single-path cells stay flat. The [*_pf_rips]
+   CSV column exposes how much ripping each cap actually bought. *)
+let figpf =
+  {
+    id = "figpf";
+    title = "Fig. PF: negotiation sweep, 25 mixed comms vs iteration cap";
+    xlabel = "PathFinder iteration cap";
+    xs = [ 1.; 2.; 4.; 8.; 16. ];
+    generate =
+      (fun rng _ ->
+        Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed);
+    scenario = None;
+    paired = true;
+    heuristics =
+      Some
+        (fun x ->
+          Routing.Heuristic.all
+          @ [
+              Optim.Pathfinder.heuristic ~name:"PF"
+                ~iterations:(int_of_float x) ();
+            ]);
+  }
+
 let all =
-  [ fig7a; fig7b; fig7c; fig8a; fig8b; fig8c; fig9a; fig9b; fig9c; figf; figs ]
+  [
+    fig7a;
+    fig7b;
+    fig7c;
+    fig8a;
+    fig8b;
+    fig8c;
+    fig9a;
+    fig9b;
+    fig9c;
+    figf;
+    figs;
+    figpf;
+  ]
 
 let find id =
   let id = String.lowercase_ascii id in

@@ -75,8 +75,17 @@ val figs : t
     descends toward the fractional lower bound and its failure ratio
     drops on instances no single path can carry. *)
 
+val figpf : t
+(** Negotiation sweep: 25 mixed communications on the 8x8 CMP while the
+    x axis raises the PathFinder iteration cap through 1, 2, 4, 8, 16
+    ({!Optim.Pathfinder}, cell name [PF]) next to the six single-path
+    cells. Paired: the same workloads at every cap, so the PF column
+    can only improve along x, and the [*_pf_rips] CSV column shows the
+    negotiation effort each cap bought. *)
+
 val all : t list
-(** The nine paper figures in paper order, then {!figf} and {!figs}. *)
+(** The nine paper figures in paper order, then {!figf}, {!figs} and
+    {!figpf}. *)
 
 val find : string -> t option
 (** Lookup by [id] (case-insensitive). *)

@@ -28,7 +28,9 @@ let csv (r : Runner.result) =
       Buffer.add_string buf
         (Printf.sprintf ",%s_paths,%s_dp,%s_bb,%s_reroutes,%s_evals" name name
            name name name);
-      Buffer.add_string buf (Printf.sprintf ",%s_delta_evals" name))
+      Buffer.add_string buf (Printf.sprintf ",%s_delta_evals" name);
+      Buffer.add_string buf
+        (Printf.sprintf ",%s_pf_iters,%s_pf_rips" name name))
     names;
   Buffer.add_char buf '\n';
   List.iter
@@ -47,11 +49,12 @@ let csv (r : Runner.result) =
             | None -> ",");
           let c = s.counters in
           Buffer.add_string buf
-            (Printf.sprintf ",%d,%d,%d,%d,%d,%d" c.Routing.Metrics.paths_scored
-               c.Routing.Metrics.dp_cells c.Routing.Metrics.bb_nodes
-               c.Routing.Metrics.detour_searches
+            (Printf.sprintf ",%d,%d,%d,%d,%d,%d,%d,%d"
+               c.Routing.Metrics.paths_scored c.Routing.Metrics.dp_cells
+               c.Routing.Metrics.bb_nodes c.Routing.Metrics.detour_searches
                c.Routing.Metrics.feasibility_checks
-               c.Routing.Metrics.delta_evals))
+               c.Routing.Metrics.delta_evals c.Routing.Metrics.pf_iterations
+               c.Routing.Metrics.pf_rips))
         row.cells;
       Buffer.add_char buf '\n')
     r.rows;

@@ -59,6 +59,28 @@ let overloaded t ~capacity =
     t.loads;
   List.sort (fun (_, a) (_, b) -> Float.compare b a) !over
 
+(* Overload factor on the *effective* scale: by how much (as a fraction
+   of [capacity]) the link exceeds its degraded ceiling. 0. within
+   capacity (up to the same epsilon as {!overloaded}); [infinity] on a
+   dead link carrying traffic. *)
+let overload t ~capacity id =
+  let eff = get_effective t id in
+  if eff <= capacity +. epsilon then 0. else (eff -. capacity) /. capacity
+
+let overload_link t ~capacity l = overload t ~capacity (Mesh.link_id t.mesh l)
+
+let overloaded_effective t ~capacity =
+  let over = ref [] in
+  for id = Array.length t.loads - 1 downto 0 do
+    let eff = get_effective t id in
+    if eff > capacity +. epsilon then over := (id, eff) :: !over
+  done;
+  List.sort
+    (fun (ida, a) (idb, b) ->
+      let c = Float.compare b a in
+      if c <> 0 then c else Int.compare ida idb)
+    !over
+
 let fold f t acc =
   let acc = ref acc in
   Array.iteri (fun id x -> acc := f id x !acc) t.loads;

@@ -78,6 +78,21 @@ val overloaded : t -> capacity:float -> (int * float) list
 (** Links whose load strictly exceeds [capacity], with their loads,
     by decreasing load. *)
 
+val overload : t -> capacity:float -> int -> float
+(** Per-link overload factor under the fault-effective capacity: how far
+    the link's {!get_effective} load exceeds [capacity], as a fraction of
+    [capacity] — [0.] when the link fits (up to the same epsilon as
+    {!overloaded}), [infinity] on a dead link carrying traffic. The
+    present-congestion term of negotiated-congestion routing. *)
+
+val overload_link : t -> capacity:float -> Mesh.link -> float
+
+val overloaded_effective : t -> capacity:float -> (int * float) list
+(** Links whose {e effective} load ({!get_effective}) strictly exceeds
+    [capacity], with those effective loads, by decreasing load (ties by
+    increasing id). Equals {!overloaded} when the accounting carries no
+    fault. *)
+
 val fold : (int -> float -> 'a -> 'a) -> t -> 'a -> 'a
 (** Folds over every link id with its load, in id order. *)
 

@@ -1,0 +1,78 @@
+(** Negotiated-congestion rip-up-and-reroute (the PathFinder scheme of
+    the FPGA routing literature, retargeted at the power-aware NoC
+    objective).
+
+    Every communication is routed against the per-link negotiated cost
+
+    {v base × (1 + present) × (1 + history) v}
+
+    where [base] is the {e marginal} memoized penalized power of adding
+    the communication's rate to the link (two {!Routing.Delta.cost}
+    journal lookups, counted in [delta_evals]), [present] is the link's
+    current overload factor under the fault-effective capacity
+    ({!Noc.Load.overload}), and [history] accumulates on every link the
+    feasibility report convicts, pass after pass. Congested links thus
+    get monotonically more repulsive until the communications crossing
+    them negotiate their way onto disjoint resources — or an iteration
+    cap fires and the best-effort routing stands.
+
+    Per-communication search is a two-stage affair mirroring
+    {!Routing.Repair}: the cheapest Manhattan path of the bounding
+    rectangle first (backward DP over the diagonal steps, dead links
+    excluded), widening to a full-mesh Dijkstra walk when a fault cut
+    the rectangle or when the rectangle's best path still overloads a
+    link and a strictly cheaper walk exists. Candidate scoring is
+    O(path length) via the delta journal; failed reroutes roll back
+    through its mark/rollback, bit-exactly.
+
+    The engine bumps [pf_iterations] (one per sweep) and [pf_rips] (one
+    per ripped-and-rerouted communication) on {!Routing.Metrics}. *)
+
+type outcome = {
+  solution : Routing.Solution.t;
+  report : Routing.Evaluate.report;
+      (** Bit-identical to rescoring [solution] from scratch with
+          {!Routing.Evaluate.solution}: the final loads are rebuilt
+          canonically (routes in input order, paths before detours),
+          never read off the rip-up history, whose float cancellations
+          are not exact. *)
+  iterations : int;  (** Sweeps actually run (>= 1). *)
+  rips : int;  (** Communications ripped up and rerouted. *)
+}
+
+val negotiate :
+  ?iterations:int ->
+  ?fault:Noc.Fault.t ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  outcome
+(** The raw engine: route everything once (heaviest communication
+    first), then rip-up-and-reroute every communication crossing an
+    overloaded link until the report is feasible or [iterations]
+    (default 32, must be >= 1) sweeps have run. Deterministic: no
+    randomness, fixed processing order, canonical final accounting.
+    Raises {!Routing.Repair.No_route} when a communication's endpoints
+    are disconnected by the fault. *)
+
+val engine :
+  ?iterations:int ->
+  ?fault:Noc.Fault.t ->
+  Power.Model.t ->
+  Noc.Mesh.t ->
+  Traffic.Communication.t list ->
+  Routing.Solution.t
+(** {!negotiate} guarded never-worse than the best single-path
+    heuristic ({!Routing.Best}): feasible beats infeasible, then lower
+    total power, then lower penalized power when both fail. *)
+
+val heuristic :
+  ?name:string -> ?iterations:int -> unit -> Routing.Heuristic.t
+(** Registry entry (default name ["PF"]) wrapping {!engine} via
+    {!Routing.Heuristic.of_fault_aware}, for the harness figures and
+    the CLI. *)
+
+val find : string -> Routing.Heuristic.t option
+(** Parse a CLI spelling: ["pf"] (default cap), ["pf8"] / ["PF(8)"]
+    (explicit cap, >= 1). [None] for anything else — suitable for
+    {!Routing.Heuristic.register}. *)

@@ -6,10 +6,14 @@ let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
 
 let test_figures_registered () =
-  check_int "eleven figures" 11 (List.length Harness.Figure.all);
+  check_int "twelve figures" 12 (List.length Harness.Figure.all);
   check_bool "find fig8b" true
     (match Harness.Figure.find "FIG8B" with
     | Some f -> f.Harness.Figure.id = "fig8b"
+    | None -> false);
+  check_bool "find figpf" true
+    (match Harness.Figure.find "figpf" with
+    | Some f -> f.Harness.Figure.id = "figpf"
     | None -> false);
   check_bool "unknown" true (Harness.Figure.find "fig10" = None)
 
@@ -452,6 +456,8 @@ let test_checkpoint_corrupt_lines_tolerated () =
           detour_searches = 1;
           feasibility_checks = 3;
           delta_evals = 5;
+          pf_iterations = 2;
+          pf_rips = 4;
         };
     }
   in
@@ -678,6 +684,8 @@ let fabricated_obs i p =
             detour_searches = i mod 3;
             feasibility_checks = 1;
             delta_evals = 4 * i;
+            pf_iterations = i mod 2;
+            pf_rips = 3 * i;
           } );
       ]
 

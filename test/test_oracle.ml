@@ -5,6 +5,7 @@
    infeasible instance must defeat every single-path policy. *)
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 let km = Power.Model.kim_horowitz
 
 let instance_gen =
@@ -112,6 +113,122 @@ let test_fig2_oracle () =
         (Routing.Best.run_all model mesh comms)
   | _ -> Alcotest.fail "fig2 must solve exactly"
 
+(* ------------------------------------------------------------------ *)
+(* Pinned E22 regression fixtures.
+
+   The E22 bench experiment (bench/main.ml) draws 40 instances of 25
+   mixed communications on the paper's 8x8 CMP from master seed 313.
+   Exactly 8 of them defeat every greedy single-path heuristic, and two
+   of those also defeat the flow-guided s-MP splitter at s = 4. These
+   indices are pinned here as regression oracles for the PathFinder
+   negotiation engine: it must keep rescuing at least 6 of the 8 —
+   including trial 31, the s-MP-infeasible one a single non-Manhattan
+   walk happens to solve — and trial 8 must keep being PROVABLY
+   unroutable by any single-path policy (walks included), which is why
+   "rescue both s-MP-infeasible instances" is a mathematical
+   impossibility rather than an engine weakness. *)
+
+let coord row col = Noc.Coord.make ~row ~col
+
+let e22_trials () =
+  let mesh = Noc.Mesh.square 8 in
+  let rng = Traffic.Rng.create 313 in
+  let trials = Array.make 40 [] in
+  for i = 0 to 39 do
+    (* Sequential draws from the one master rng, exactly as E22 does. *)
+    trials.(i) <-
+      Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed
+  done;
+  (mesh, trials)
+
+let greedy_defeated = [ 0; 3; 8; 10; 28; 30; 31; 32 ]
+let smp4_infeasible = [ 8; 31 ]
+
+let test_e22_greedy_defeated_pinned () =
+  let mesh, trials = e22_trials () in
+  Array.iteri
+    (fun i comms ->
+      let defeated = Routing.Best.route km mesh comms = None in
+      check_bool
+        (Printf.sprintf "trial %d greedy-%s" i
+           (if List.mem i greedy_defeated then "defeated" else "feasible"))
+        (List.mem i greedy_defeated)
+        defeated)
+    trials
+
+let test_e22_pathfinder_rescues () =
+  let mesh, trials = e22_trials () in
+  (* The two pinned s-MP-infeasible instances stay that way. *)
+  List.iter
+    (fun i ->
+      let sol = Optim.Smp.engine ~s:4 km mesh trials.(i) in
+      check_bool
+        (Printf.sprintf "trial %d defeats smp(4)" i)
+        false
+        (Routing.Evaluate.solution km sol).Routing.Evaluate.feasible)
+    smp4_infeasible;
+  let rescued =
+    List.filter
+      (fun i ->
+        let o = Optim.Pathfinder.negotiate km mesh trials.(i) in
+        o.Optim.Pathfinder.report.Routing.Evaluate.feasible)
+      greedy_defeated
+  in
+  check_bool
+    (Printf.sprintf "PF rescues >= 6 of 8 (got %d: %s)" (List.length rescued)
+       (String.concat "," (List.map string_of_int rescued)))
+    true
+    (List.length rescued >= 6);
+  check_bool "PF rescues the s-MP-infeasible trial 31" true
+    (List.mem 31 rescued)
+
+let test_e22_trial8_cut_bound () =
+  (* Trial 8 is unroutable by ANY single-path policy — Manhattan paths,
+     detour walks, negotiation, anything that assigns each communication
+     one walk. The cut argument, computed from the drawn workload itself
+     so the pin survives only while the arithmetic does:
+
+     Core (7,8) sits on the right edge with three out-links (up, left,
+     down). Its out-communications exceed the combined up+left capacity,
+     so some atom would have to leave DOWN through corner (8,8). But the
+     corner's two in-links also absorb whole-communication arrivals
+     whose sum exceeds one capacity, so at least one arrival must ride
+     the (7,8)->(8,8) link, leaving it less transit headroom than the
+     smallest out-atom needs. No atom fits down; up+left overflow. *)
+  let mesh, trials = e22_trials () in
+  let comms = trials.(8) in
+  let hub = coord 7 8 and corner = coord 8 8 in
+  let capacity = km.Power.Model.capacity in
+  check_int "hub is an edge core with three out-links" 3
+    (List.length (Noc.Mesh.neighbors mesh hub));
+  check_int "corner has exactly two in-links" 2
+    (List.length (Noc.Mesh.neighbors mesh corner));
+  let rates p =
+    List.filter_map
+      (fun (c : Traffic.Communication.t) -> if p c then Some c.rate else None)
+      comms
+  in
+  let out_atoms =
+    rates (fun c -> c.src = hub && c.snk <> hub)
+  and arrivals = rates (fun c -> c.snk = corner && c.src <> corner) in
+  let sum = List.fold_left ( +. ) 0. in
+  let min_of = function
+    | [] -> infinity
+    | x :: tl -> List.fold_left Float.min x tl
+  in
+  check_bool "hub demand exceeds the up+left cut (2 capacities)" true
+    (sum out_atoms > 2. *. capacity);
+  check_bool "corner arrivals exceed one capacity" true
+    (sum arrivals > capacity);
+  check_bool "smallest out-atom exceeds the corner transit headroom" true
+    (min_of out_atoms > capacity -. min_of arrivals);
+  (* The engines agree with the arithmetic. *)
+  check_bool "every greedy heuristic fails" true
+    (Routing.Best.route km mesh comms = None);
+  let o = Optim.Pathfinder.negotiate km mesh comms in
+  check_bool "negotiation cannot beat the cut" false
+    o.Optim.Pathfinder.report.Routing.Evaluate.feasible
+
 let () =
   Alcotest.run "oracle"
     [
@@ -121,5 +238,14 @@ let () =
           QCheck_alcotest.to_alcotest prop_heuristics_never_beat_exact;
           QCheck_alcotest.to_alcotest prop_best_of_is_cheapest_feasible;
           QCheck_alcotest.to_alcotest prop_best_gap_to_optimum_nonnegative;
+        ] );
+      ( "e22-fixtures",
+        [
+          Alcotest.test_case "greedy-defeated set pinned" `Slow
+            test_e22_greedy_defeated_pinned;
+          Alcotest.test_case "pathfinder rescues" `Slow
+            test_e22_pathfinder_rescues;
+          Alcotest.test_case "trial 8 cut bound" `Quick
+            test_e22_trial8_cut_bound;
         ] );
     ]
