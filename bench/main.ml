@@ -12,7 +12,8 @@
    bit-identical for any value; MANROUTE_SKIP_BECHAMEL=1 skips part 2;
    MANROUTE_BENCH=delta runs only the E21 delta-engine micro-benchmark;
    MANROUTE_BENCH=smp runs only the E22 s-MP sweep;
-   MANROUTE_BENCH=pf runs only the E23 PathFinder sweep. *)
+   MANROUTE_BENCH=pf runs only the E23 PathFinder sweep;
+   MANROUTE_BENCH=recover runs only the E24 recovery sweep. *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -637,6 +638,78 @@ let pf_sweep () =
          else ""))
     [ 1; 2; 4; 8; 16; 32 ]
 
+(* E24: the live-recovery engine — how gracefully an already-routed
+   instance degrades as fault events accumulate. Same instance family as
+   E22/E23 (seed 313, 25 mixed communications on the 8x8 CMP); each row
+   replays a longer deterministic schedule over the same per-instance
+   generator key, so a row's event sequence is a prefix of the next
+   row's and only the accumulated damage varies. Columns: mean survival
+   ratio and live power after the last event, sheds per instance, the
+   escalation-rung histogram over all events (rung 1 = untouched,
+   5 = shedding), and negotiation passes per instance. *)
+
+let recover_sweep () =
+  section "E24 | Recovery: survival and power vs fault events (8x8, 25 mixed)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 313 in
+  let trials = Int.min 25 (Harness.Runner.default_trials ()) in
+  let pre =
+    List.init trials (fun i ->
+        let comms =
+          Traffic.Workload.uniform rng mesh ~n:25
+            ~weight:Traffic.Workload.mixed
+        in
+        (i, Routing.Best.route model mesh comms))
+  in
+  let routed = List.filter (fun (_, b) -> b <> None) pre in
+  Format.printf
+    "  %d instances, %d routed feasibly by BEST (the recovery baseline)@.@.  \
+     %6s %9s %12s %10s %21s %11s@."
+    trials (List.length routed) "events" "survival" "live power" "shed/inst"
+    "rungs 1|2|3|4|5" "passes/inst";
+  List.iter
+    (fun events ->
+      let surv = ref 0. and power = ref 0. in
+      let sheds = ref 0 and passes = ref 0 in
+      let rungs = Array.make 6 0 in
+      List.iter
+        (fun (i, best) ->
+          match best with
+          | None -> ()
+          | Some (b : Routing.Best.outcome) ->
+              let srng =
+                Traffic.Rng.of_key "bench-recover"
+                  [ Int64.of_int 313; Int64.of_int i ]
+              in
+              let schedule =
+                Noc.Fault.Schedule.random
+                  ~choose:(Traffic.Rng.int srng)
+                  ~events mesh
+              in
+              let t, reports =
+                Optim.Recover.run model b.Routing.Best.solution schedule
+              in
+              let last = List.nth reports (List.length reports - 1) in
+              surv := !surv +. last.Optim.Recover.survival;
+              power := !power +. last.Optim.Recover.power_after;
+              sheds := !sheds + List.length (Optim.Recover.shed t);
+              List.iter
+                (fun (r : Optim.Recover.report) ->
+                  rungs.(r.rung) <- rungs.(r.rung) + 1;
+                  passes := !passes + r.Optim.Recover.passes)
+                reports)
+        routed;
+      let m = float_of_int (max 1 (List.length routed)) in
+      Format.printf "  %6d %8.1f%% %9.1f mW %10.2f %5d|%d|%d|%d|%-3d %11.1f@."
+        events
+        (100. *. !surv /. m)
+        (!power /. m)
+        (float_of_int !sheds /. m)
+        rungs.(1) rungs.(2) rungs.(3) rungs.(4) rungs.(5)
+        (float_of_int !passes /. m))
+    [ 2; 4; 8; 16; 32 ]
+
 (* E13: the paper's open problem — single source/destination pair, how much
    can single-path routing gain, and how close is it to max-MP? *)
 
@@ -976,6 +1049,11 @@ let () =
     pf_sweep ();
     exit 0
   end;
+  (* MANROUTE_BENCH=recover: run only the E24 recovery sweep. *)
+  if Sys.getenv_opt "MANROUTE_BENCH" = Some "recover" then begin
+    recover_sweep ();
+    exit 0
+  end;
   Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
     (Harness.Runner.default_trials ())
     (Harness.Pool.default_jobs ());
@@ -1002,6 +1080,7 @@ let () =
   splitting_rescue ();
   smp_sweep ();
   pf_sweep ();
+  recover_sweep ();
   mesh_scaling ();
   weight_band_ablation ();
   delta_bench ();

@@ -109,6 +109,7 @@ let load_instance mesh seed n (lo, hi) file =
 let () =
   Routing.Heuristic.register Optim.Smp.find;
   Routing.Heuristic.register Optim.Pathfinder.find;
+  Routing.Heuristic.register Optim.Recover.find;
   Routing.Heuristic.register (fun name ->
       match String.uppercase_ascii name with
       | "SA" ->
@@ -136,9 +137,11 @@ let route_cmd =
              or the extensions SA (simulated annealing), PRMP2/PRMP4 \
              (multi-path path remover), SMP$(i,s) — e.g. smp4 — \
              (flow-guided s-MP: Frank-Wolfe flow rounded onto at most s \
-             paths per communication) and PF$(i,n) — e.g. pf, pf16 — \
+             paths per communication), PF$(i,n) — e.g. pf, pf16 — \
              (negotiated-congestion PathFinder rip-up-and-reroute, at \
-             most n iterations).")
+             most n iterations) and REC$(i,n) — e.g. rec, rec8 — (live \
+             recovery surviving an n-event fault schedule derived from \
+             the workload).")
   in
   let sim_t =
     Arg.(
@@ -274,7 +277,8 @@ let figure_cmd =
           ~doc:
             "One of fig7a..fig7c, fig8a..fig8c, fig9a..fig9c, figf (fault \
              sweep), figs (s-MP split sweep), figpf (PathFinder \
-             iteration-cap sweep), or all.")
+             iteration-cap sweep), figrec (fault-event recovery sweep), \
+             or all.")
   in
   let trials_t =
     Arg.(
@@ -387,6 +391,138 @@ let figure_cmd =
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce a simulation figure of the paper")
+    term
+
+(* ---------------- recover ---------------- *)
+
+let recover_cmd =
+  let events_t =
+    Arg.(
+      value
+      & opt pos_int_conv 8
+      & info [ "events" ] ~docv:"N"
+          ~doc:
+            "Length of the fault-event schedule to survive (default 8; \
+             must be a positive integer).")
+  in
+  let kill_t =
+    Arg.(
+      value
+      & opt nonneg_int_conv 0
+      & info [ "kill" ] ~docv:"N"
+          ~doc:
+            "Kill N random links (connectivity-preserving, seeded from \
+             $(b,--seed)) before the initial routing; the schedule then \
+             evolves that damaged scenario.")
+  in
+  let budget_t =
+    Arg.(
+      value
+      & opt (some nonneg_int_conv) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Per-event negotiation budget (total rip-up sweeps across the \
+             neighborhood and global rungs; default: their combined caps). \
+             With 0 the ladder jumps straight from local repair to \
+             shedding.")
+  in
+  let heuristic_t =
+    Arg.(
+      value & opt string "best"
+      & info [ "heuristic" ]
+          ~doc:
+            "Initial routing policy: $(b,best) (cheapest feasible of the \
+             paper's six) or any name the $(b,route) command accepts.")
+  in
+  let run mesh model seed n weights file events kill budget heuristic =
+    match load_instance mesh seed n weights file with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok (mesh, comms) ->
+        let rng = Traffic.Rng.of_key "cli-recover" [ Int64.of_int seed ] in
+        let fault =
+          if kill = 0 then None
+          else begin
+            let f =
+              Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng) ~kills:kill
+                mesh
+            in
+            Format.printf "initial damage: %a@." Noc.Fault.pp f;
+            Some f
+          end
+        in
+        let solution =
+          if String.lowercase_ascii heuristic = "best" then
+            match Routing.Best.route ?fault model mesh comms with
+            | Some o -> o.Routing.Best.solution
+            | None ->
+                Printf.eprintf
+                  "no heuristic routes the instance feasibly; pick one with \
+                   --heuristic to start from its best effort\n";
+                exit 1
+          else
+            match Routing.Heuristic.find_extended heuristic with
+            | Some h -> h.Routing.Heuristic.run ?fault model mesh comms
+            | None ->
+                Printf.eprintf "unknown heuristic %s\n" heuristic;
+                exit 1
+        in
+        let schedule =
+          Noc.Fault.Schedule.random ?init:fault
+            ~choose:(Traffic.Rng.int rng) ~events mesh
+        in
+        Format.printf
+          "%d communications on %a, %a; surviving %d events@."
+          (List.length comms) Noc.Mesh.pp mesh Power.Model.pp model events;
+        let t, reports = Optim.Recover.run ?fault ?budget model solution schedule in
+        let total = List.length comms in
+        List.iteri
+          (fun i (r : Optim.Recover.report) ->
+            Format.printf
+              "event %2d: %-28s rung %d | live %d/%d | power %8.1f mW \
+               (%+.1f)@."
+              (i + 1)
+              (Format.asprintf "%a" Noc.Fault.Schedule.pp_event
+                 r.Optim.Recover.event)
+              r.rung r.live total r.power_after
+              (r.power_after -. r.power_before);
+            List.iter
+              (fun (s : Optim.Recover.shed) ->
+                Format.printf "          shed %a (%a)@."
+                  Traffic.Communication.pp s.Optim.Recover.comm
+                  Optim.Recover.pp_reason s.Optim.Recover.reason)
+              r.shed_now;
+            List.iter
+              (fun c ->
+                Format.printf "          readmitted %a@."
+                  Traffic.Communication.pp c)
+              r.readmitted)
+          reports;
+        let final = Optim.Recover.solution t in
+        let report =
+          Routing.Evaluate.solution ~fault:(Optim.Recover.fault t) model final
+        in
+        let live = List.length (Routing.Solution.routes final) in
+        Format.printf "final: %d/%d live (%.1f%% survival), %a@." live total
+          (if total = 0 then 100.
+           else 100. *. float_of_int live /. float_of_int total)
+          Routing.Evaluate.pp_report report;
+        List.iter
+          (fun (s : Optim.Recover.shed) ->
+            Format.printf "  still shed: %a (%a)@." Traffic.Communication.pp
+              s.Optim.Recover.comm Optim.Recover.pp_reason
+              s.Optim.Recover.reason)
+          (Optim.Recover.shed t)
+  in
+  let term =
+    Term.(
+      const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t
+      $ events_t $ kill_t $ budget_t $ heuristic_t)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Survive a live fault-event schedule with incremental repair")
     term
 
 (* ---------------- pattern ---------------- *)
@@ -556,6 +692,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            route_cmd; generate_cmd; figure_cmd; pattern_cmd; theory_cmd;
-            optimal_cmd;
+            route_cmd; generate_cmd; figure_cmd; recover_cmd; pattern_cmd;
+            theory_cmd; optimal_cmd;
           ]))

@@ -7,6 +7,9 @@ type counters = {
   mutable delta_evals : int;
   mutable pf_iterations : int;
   mutable pf_rips : int;
+  mutable recover_events : int;
+  mutable recover_sheds : int;
+  mutable recover_rung_max : int;
 }
 
 let zero () =
@@ -19,6 +22,9 @@ let zero () =
     delta_evals = 0;
     pf_iterations = 0;
     pf_rips = 0;
+    recover_events = 0;
+    recover_sheds = 0;
+    recover_rung_max = 0;
   }
 
 (* One block per domain: increments never contend, and a trial runs
@@ -38,6 +44,9 @@ let snapshot () =
     delta_evals = c.delta_evals;
     pf_iterations = c.pf_iterations;
     pf_rips = c.pf_rips;
+    recover_events = c.recover_events;
+    recover_sheds = c.recover_sheds;
+    recover_rung_max = c.recover_rung_max;
   }
 
 let diff a b =
@@ -50,6 +59,9 @@ let diff a b =
     delta_evals = a.delta_evals - b.delta_evals;
     pf_iterations = a.pf_iterations - b.pf_iterations;
     pf_rips = a.pf_rips - b.pf_rips;
+    recover_events = a.recover_events - b.recover_events;
+    recover_sheds = a.recover_sheds - b.recover_sheds;
+    recover_rung_max = a.recover_rung_max - b.recover_rung_max;
   }
 
 let add ~into c =
@@ -60,13 +72,18 @@ let add ~into c =
   into.feasibility_checks <- into.feasibility_checks + c.feasibility_checks;
   into.delta_evals <- into.delta_evals + c.delta_evals;
   into.pf_iterations <- into.pf_iterations + c.pf_iterations;
-  into.pf_rips <- into.pf_rips + c.pf_rips
+  into.pf_rips <- into.pf_rips + c.pf_rips;
+  into.recover_events <- into.recover_events + c.recover_events;
+  into.recover_sheds <- into.recover_sheds + c.recover_sheds;
+  into.recover_rung_max <- into.recover_rung_max + c.recover_rung_max
 
 let is_zero c =
   c.paths_scored = 0 && c.dp_cells = 0 && c.bb_nodes = 0
   && c.detour_searches = 0
   && c.feasibility_checks = 0 && c.delta_evals = 0
   && c.pf_iterations = 0 && c.pf_rips = 0
+  && c.recover_events = 0 && c.recover_sheds = 0
+  && c.recover_rung_max = 0
 
 let equal a b =
   a.paths_scored = b.paths_scored
@@ -77,6 +94,9 @@ let equal a b =
   && a.delta_evals = b.delta_evals
   && a.pf_iterations = b.pf_iterations
   && a.pf_rips = b.pf_rips
+  && a.recover_events = b.recover_events
+  && a.recover_sheds = b.recover_sheds
+  && a.recover_rung_max = b.recover_rung_max
 
 let pp ppf c =
   if is_zero c then Format.pp_print_string ppf "-"
@@ -96,7 +116,10 @@ let pp ppf c =
     field "evals" c.feasibility_checks;
     field "delta" c.delta_evals;
     field "pf-it" c.pf_iterations;
-    field "pf-rips" c.pf_rips
+    field "pf-rips" c.pf_rips;
+    field "rec-ev" c.recover_events;
+    field "rec-shed" c.recover_sheds;
+    field "rec-rung" c.recover_rung_max
   end
 
 let span_hook : (string -> unit -> unit) option Atomic.t = Atomic.make None

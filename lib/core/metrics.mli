@@ -34,7 +34,16 @@
       rip-up-and-reroute engine ({!Optim.Pathfinder}) — one per sweep
       over all communications.
     - [pf_rips]: communications ripped off an overloaded link and
-      rerouted by that engine (the initial routing pass is not a rip). *)
+      rerouted by that engine (the initial routing pass is not a rip).
+    - [recover_events]: fault-schedule events processed by the recovery
+      engine ([Optim.Recover.step] calls).
+    - [recover_sheds]: communications shed (dropped) by the recovery
+      engine's graceful-degradation rung.
+    - [recover_rung_max]: sum over recovery events of the highest
+      escalation rung reached for that event (1 = survived untouched,
+      5 = shedding). A sum, not a running maximum, so per-trial deltas
+      merge additively and stay jobs-invariant like every other counter;
+      the per-event maxima are in [Optim.Recover.report]. *)
 
 type counters = {
   mutable paths_scored : int;
@@ -45,6 +54,9 @@ type counters = {
   mutable delta_evals : int;
   mutable pf_iterations : int;
   mutable pf_rips : int;
+  mutable recover_events : int;
+  mutable recover_sheds : int;
+  mutable recover_rung_max : int;
 }
 
 val zero : unit -> counters
@@ -70,8 +82,9 @@ val is_zero : counters -> bool
 val equal : counters -> counters -> bool
 
 val pp : Format.formatter -> counters -> unit
-(** ["paths=… dp=… bb=… detours=… evals=… delta=… pf-it=… pf-rips=…"],
-    omitting zero fields; ["-"] when all are zero. *)
+(** ["paths=… dp=… bb=… detours=… evals=… delta=… pf-it=… pf-rips=…
+    rec-ev=… rec-shed=… rec-rung=…"], omitting zero fields; ["-"] when
+    all are zero. *)
 
 (** {1 Span hook}
 

@@ -19,6 +19,11 @@ val solution : Noc.Fault.t -> Power.Model.t -> Solution.t -> Solution.t
     on trivial faults.
     @raise No_route when a communication's endpoints are disconnected. *)
 
+val route_usable : Noc.Fault.t -> Solution.route -> bool
+(** Every path and detour walk of the route avoids the fault's dead
+    links. What {!solution} uses to decide which routes to keep — exposed
+    so an incremental engine ([Optim.Recover]) can make the same call. *)
+
 val manhattan_usable :
   Noc.Fault.t ->
   Power.Model.t ->
@@ -28,6 +33,16 @@ val manhattan_usable :
 (** Cheapest Manhattan path of the communication's rectangle that avoids
     every dead link, costed by marginal capped penalized power against the
     given loads; [None] when the fault cuts all of them. *)
+
+val manhattan_usable_sc :
+  Noc.Fault.t ->
+  Delta.scorer ->
+  Noc.Load.t ->
+  Traffic.Communication.t ->
+  Noc.Path.t option
+(** {!manhattan_usable} against an existing scorer, so a caller holding a
+    {!Delta} journal reuses its memoized cost tables instead of building
+    fresh ones per call. *)
 
 val detour :
   Noc.Fault.t ->

@@ -112,6 +112,14 @@ let loads ?fault t =
     t.routes;
   loads
 
+let iter_route_links r f =
+  List.iter
+    (fun (p, _) -> Array.iter f (Noc.Path.links p))
+    r.paths;
+  List.iter
+    (fun (w, _) -> Array.iter f (Noc.Walk.links w))
+    r.detours
+
 let path_of t comm =
   List.find_map
     (fun r ->

@@ -63,6 +63,11 @@ val loads : ?fault:Noc.Fault.t -> t -> Noc.Load.t
     carried by the returned {!Noc.Load.t} so evaluation sees the degraded
     capacities. *)
 
+val iter_route_links : route -> (Noc.Mesh.link -> unit) -> unit
+(** Apply the function to every directed link of every part of the route
+    (paths first, then detour walks; a link used by several parts is
+    visited once per part). *)
+
 val path_of : t -> Traffic.Communication.t -> Noc.Path.t option
 (** The unique path of a communication in a single-path solution; [None] if
     the communication is absent, split, or detoured. *)

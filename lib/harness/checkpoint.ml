@@ -15,6 +15,9 @@ type cell = {
 let magic = "row"
 let version = "v1"
 
+(* Name + 7 stat fields + 11 counter ints: what [line] writes today. *)
+let max_fields_per_cell = 19
+
 (* Floats travel as "%h" hex literals: [float_of_string] round-trips them
    bit-exactly, which is what lets a resumed campaign reproduce the very
    rows a fresh run would compute. *)
@@ -61,6 +64,9 @@ let line key ~x cells =
              string_of_int c.counters.Routing.Metrics.delta_evals;
              string_of_int c.counters.Routing.Metrics.pf_iterations;
              string_of_int c.counters.Routing.Metrics.pf_rips;
+             string_of_int c.counters.Routing.Metrics.recover_events;
+             string_of_int c.counters.Routing.Metrics.recover_sheds;
+             string_of_int c.counters.Routing.Metrics.recover_rung_max;
            ]))
     cells;
   Buffer.contents buf
@@ -102,25 +108,28 @@ let parse_msg s =
     | exception _ -> None
   else None
 
-let parse_counters ?(de = "0") ?(pi = "0") ?(pr = "0") p d b ds fc =
+let parse_counters ?(de = "0") ?(pi = "0") ?(pr = "0") ?(re = "0") ?(rs = "0")
+    ?(rr = "0") p d b ds fc =
   match
-    ( int_of_string_opt p,
-      int_of_string_opt d,
-      int_of_string_opt b,
-      int_of_string_opt ds,
-      int_of_string_opt fc,
-      int_of_string_opt de,
-      int_of_string_opt pi,
-      int_of_string_opt pr )
+    ( ( int_of_string_opt p,
+        int_of_string_opt d,
+        int_of_string_opt b,
+        int_of_string_opt ds,
+        int_of_string_opt fc,
+        int_of_string_opt de,
+        int_of_string_opt pi,
+        int_of_string_opt pr ),
+      (int_of_string_opt re, int_of_string_opt rs, int_of_string_opt rr) )
   with
-  | ( Some paths_scored,
-      Some dp_cells,
-      Some bb_nodes,
-      Some detour_searches,
-      Some feasibility_checks,
-      Some delta_evals,
-      Some pf_iterations,
-      Some pf_rips ) ->
+  | ( ( Some paths_scored,
+        Some dp_cells,
+        Some bb_nodes,
+        Some detour_searches,
+        Some feasibility_checks,
+        Some delta_evals,
+        Some pf_iterations,
+        Some pf_rips ),
+      (Some recover_events, Some recover_sheds, Some recover_rung_max) ) ->
       Some
         {
           Routing.Metrics.paths_scored;
@@ -131,23 +140,45 @@ let parse_counters ?(de = "0") ?(pi = "0") ?(pr = "0") p d b ds fc =
           delta_evals;
           pf_iterations;
           pf_rips;
+          recover_events;
+          recover_sheds;
+          recover_rung_max;
         }
   | _ -> None
 
-let parse_cells n fields =
+exception
+  Newer_version of { path : string; fields_per_cell : int }
+
+let () =
+  Printexc.register_printer (function
+    | Newer_version { path; fields_per_cell } ->
+        Some
+          (Printf.sprintf
+             "checkpoint %s is from a newer manroute version (%d fields per \
+              cell, this build reads at most %d); delete it or upgrade"
+             path fields_per_cell max_fields_per_cell)
+    | _ -> None)
+
+let parse_cells ~path n fields =
   (* Checkpoints written before the telemetry layer carry 8 fields per
      cell; the telemetry layer appended five counter ints (13), the
-     delta engine a sixth (14), and the PathFinder engine two more (16).
-     Same magic, same version: the arity is read off the total field
-     count, so old resume files keep loading — missing counters parse
-     as zero. *)
+     delta engine a sixth (14), the PathFinder engine two more (16) and
+     the recovery engine three more (19). Same magic, same version: the
+     arity is read off the total field count, so old resume files keep
+     loading — missing counters parse as zero. A row whose cells carry
+     {e more} fields than this build writes was made by a newer build:
+     silently misparsing (or silently dropping) it would quietly recompute
+     rows the user thinks are checkpointed, so that fails fast instead. *)
   let arity =
     match List.length fields with
+    | len when n > 0 && len = n * 19 -> `Counters11
     | len when n > 0 && len = n * 16 -> `Counters8
     | len when n > 0 && len = n * 14 -> `Counters6
     | len when n > 0 && len = n * 13 -> `Counters5
     | len when len = n * 8 -> `NoCounters
-    | _ -> `Counters8 (* wrong shape either way; fail in the loop below *)
+    | len when n > 0 && len mod n = 0 && len / n > max_fields_per_cell ->
+        raise (Newer_version { path; fields_per_cell = len / n })
+    | _ -> `Counters11 (* wrong shape either way; fail in the loop below *)
   in
   let rec go acc k = function
     | [] when k = 0 -> Some (List.rev acc)
@@ -169,6 +200,12 @@ let parse_cells n fields =
               match tl with
               | p :: d :: b :: ds :: fc :: de :: pi :: pr :: tl ->
                   (parse_counters ~de ~pi ~pr p d b ds fc, tl)
+              | _ -> (None, tl))
+          | `Counters11 -> (
+              match tl with
+              | p :: d :: b :: ds :: fc :: de :: pi :: pr :: re :: rs :: rr
+                :: tl ->
+                  (parse_counters ~de ~pi ~pr ~re ~rs ~rr p d b ds fc, tl)
               | _ -> (None, tl))
         in
         match
@@ -208,7 +245,7 @@ let parse_cells n fields =
   in
   go [] n fields
 
-let parse_line key l =
+let parse_line ~path key l =
   match String.split_on_char '\t' l with
   | m :: v :: fid :: seed :: trials :: x :: ncells :: rest
     when m = magic && v = version ->
@@ -220,7 +257,7 @@ let parse_line key l =
       else (
         match (parse_float x, int_of_string_opt ncells) with
         | Some x, Some n when n >= 0 -> (
-            match parse_cells n rest with
+            match parse_cells ~path n rest with
             | Some cells -> Some (x, cells)
             | None -> None)
         | _ -> None)
@@ -231,13 +268,15 @@ let load ~path key =
   else begin
     let ic = open_in path in
     let rows = ref [] in
-    (try
-       while true do
-         match parse_line key (input_line ic) with
-         | Some row -> rows := row :: !rows
-         | None -> ()
-       done
-     with End_of_file -> ());
-    close_in ic;
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        try
+          while true do
+            match parse_line ~path key (input_line ic) with
+            | Some row -> rows := row :: !rows
+            | None -> ()
+          done
+        with End_of_file -> ());
     List.rev !rows
   end

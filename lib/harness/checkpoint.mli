@@ -26,13 +26,20 @@ type cell = {
   mean_detour_hops : float;
   error_example : string option;
   counters : Routing.Metrics.counters;
-      (** Work-counter totals over the cell's trials. Serialized as five
+      (** Work-counter totals over the cell's trials. Serialized as eleven
           integer fields appended to the cell; checkpoints written before
-          these fields existed still load (same magic and version — the
-          parser reads the arity off the field count) and come back with
-          all-zero counters. *)
+          some (or all) of these fields existed still load (same magic and
+          version — the parser reads the arity off the field count) and
+          come back with the missing counters as zero. *)
 }
 (** Serialized form of one [Runner.stats] cell. *)
+
+exception Newer_version of { path : string; fields_per_cell : int }
+(** Raised by {!load} when a row that matches the key carries {e more}
+    fields per cell than this build writes: the sidecar was produced by a
+    newer manroute. Tolerating it would silently drop (and recompute) rows
+    the user believes are checkpointed, so the mismatch is loud instead.
+    Registered with [Printexc] for a readable message. *)
 
 val append : path:string -> key -> x:float -> cell list -> unit
 (** Append one completed row and flush. Creates the file when missing; the
@@ -41,4 +48,5 @@ val append : path:string -> key -> x:float -> cell list -> unit
 val load : path:string -> key -> (float * cell list) list
 (** All well-formed rows of [path] matching [key], in file order (a later
     duplicate of some [x] follows the earlier one). A missing file is an
-    empty checkpoint. *)
+    empty checkpoint.
+    @raise Newer_version on a matching row with too many fields per cell. *)

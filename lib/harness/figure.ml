@@ -167,6 +167,34 @@ let figpf =
             ]);
   }
 
+(* Recovery sweep (beyond the paper): the x axis is the number of fault
+   events the live-recovery engine must survive. Paired like figpf —
+   trial [t] draws the same 25 mixed communications at every x, and the
+   REC engine keys its fault schedule off the workload itself (see
+   [Optim.Recover.engine]), so the x-event schedule of a trial is a
+   prefix of its (x+k)-event one: only the damage history grows along
+   the row. The [*_recover_events] / [*_recover_sheds] /
+   [*_recover_rung_max] CSV columns expose how hard each x made the
+   escalation ladder work; the six single-path cells stay flat (they
+   never see the schedule, which lives inside the REC engine). *)
+let figrec =
+  {
+    id = "figrec";
+    title = "Fig. REC: recovery sweep, 25 mixed comms vs fault events";
+    xlabel = "fault events survived";
+    xs = [ 0.; 2.; 4.; 8.; 12.; 16. ];
+    generate =
+      (fun rng _ ->
+        Traffic.Workload.uniform rng mesh ~n:25 ~weight:Traffic.Workload.mixed);
+    scenario = None;
+    paired = true;
+    heuristics =
+      Some
+        (fun x ->
+          Routing.Heuristic.all
+          @ [ Optim.Recover.heuristic ~name:"REC" ~events:(int_of_float x) () ]);
+  }
+
 let all =
   [
     fig7a;
@@ -181,6 +209,7 @@ let all =
     figf;
     figs;
     figpf;
+    figrec;
   ]
 
 let find id =

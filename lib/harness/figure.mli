@@ -83,9 +83,20 @@ val figpf : t
     can only improve along x, and the [*_pf_rips] CSV column shows the
     negotiation effort each cap bought. *)
 
+val figrec : t
+(** Recovery sweep: 25 mixed communications on the 8x8 CMP while the x
+    axis raises the fault-event count through 0, 2, 4, 8, 12, 16
+    ({!Optim.Recover}, cell name [REC]) next to the six single-path
+    cells. Paired: the same workloads at every x, and the REC engine
+    derives its fault schedule from the workload itself, so the x-event
+    schedule is a prefix of the (x+k)-event one — only the damage
+    history grows along the row. The [*_recover_events] /
+    [*_recover_sheds] / [*_recover_rung_max] CSV columns expose the
+    escalation ladder's work. *)
+
 val all : t list
-(** The nine paper figures in paper order, then {!figf}, {!figs} and
-    {!figpf}. *)
+(** The nine paper figures in paper order, then {!figf}, {!figs},
+    {!figpf} and {!figrec}. *)
 
 val find : string -> t option
 (** Lookup by [id] (case-insensitive). *)

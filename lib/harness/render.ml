@@ -30,7 +30,10 @@ let csv (r : Runner.result) =
            name name name);
       Buffer.add_string buf (Printf.sprintf ",%s_delta_evals" name);
       Buffer.add_string buf
-        (Printf.sprintf ",%s_pf_iters,%s_pf_rips" name name))
+        (Printf.sprintf ",%s_pf_iters,%s_pf_rips" name name);
+      Buffer.add_string buf
+        (Printf.sprintf ",%s_recover_events,%s_recover_sheds,%s_recover_rung_max"
+           name name name))
     names;
   Buffer.add_char buf '\n';
   List.iter
@@ -49,12 +52,14 @@ let csv (r : Runner.result) =
             | None -> ",");
           let c = s.counters in
           Buffer.add_string buf
-            (Printf.sprintf ",%d,%d,%d,%d,%d,%d,%d,%d"
+            (Printf.sprintf ",%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d"
                c.Routing.Metrics.paths_scored c.Routing.Metrics.dp_cells
                c.Routing.Metrics.bb_nodes c.Routing.Metrics.detour_searches
                c.Routing.Metrics.feasibility_checks
                c.Routing.Metrics.delta_evals c.Routing.Metrics.pf_iterations
-               c.Routing.Metrics.pf_rips))
+               c.Routing.Metrics.pf_rips c.Routing.Metrics.recover_events
+               c.Routing.Metrics.recover_sheds
+               c.Routing.Metrics.recover_rung_max))
         row.cells;
       Buffer.add_char buf '\n')
     r.rows;

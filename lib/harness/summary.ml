@@ -84,7 +84,7 @@ type t = {
   counters : (string * Routing.Metrics.counters) list;
 }
 
-let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "SMP"; "PF"; "BEST" ]
+let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "SMP"; "PF"; "REC"; "BEST" ]
 
 (* Nearest-rank quantile on the retained runtimes: exact, no
    interpolation, deterministic for a fixed observation order. *)

@@ -21,20 +21,24 @@ let set_edge t l f =
 let kill_link t l = set_edge t l 0.
 
 let degrade_link t l f =
-  if f < 0. || f > 1. then
+  (* NaN slips through the usual range check (both comparisons are false)
+     and would silently poison every capacity product downstream. *)
+  if Float.is_nan f || f < 0. || f > 1. then
     invalid_arg (Printf.sprintf "Fault.degrade_link: factor %g" f);
   set_edge t l f
 
-let incident_links t core =
+let incident_links mesh core =
   List.concat_map
     (fun nb -> [ Mesh.link ~src:core ~dst:nb; Mesh.link ~src:nb ~dst:core ])
-    (Mesh.neighbors t.mesh core)
+    (Mesh.neighbors mesh core)
 
 let kill_router t core =
   if not (Mesh.in_mesh t.mesh core) then
     invalid_arg (Format.asprintf "Fault.kill_router: %a" Coord.pp core);
   let factor = Array.copy t.factor in
-  List.iter (fun l -> factor.(Mesh.link_id t.mesh l) <- 0.) (incident_links t core);
+  List.iter
+    (fun l -> factor.(Mesh.link_id t.mesh l) <- 0.)
+    (incident_links t.mesh core);
   { t with factor }
 
 let kill_region t ~a ~b =
@@ -162,3 +166,121 @@ let pp ppf t =
   else
     Format.fprintf ppf "%d dead edges, %d degraded links on %a" dead deg
       Mesh.pp t.mesh
+
+(* Canonical-direction edges that are not at full capacity: the candidate
+   set for a [Restore] event (the dual of [alive_edges]). *)
+let broken_edges t =
+  let out = ref [] in
+  Mesh.iter_links t.mesh (fun id l ->
+      match Mesh.step_of_link l with
+      | Mesh.East | Mesh.South -> if t.factor.(id) < 1. then out := l :: !out
+      | Mesh.West | Mesh.North -> ());
+  Array.of_list (List.rev !out)
+
+type fault = t
+
+module Schedule = struct
+  type event =
+    | Kill_link of Mesh.link
+    | Degrade_link of Mesh.link * float
+    | Kill_router of Coord.t
+    | Kill_region of { a : Coord.t; b : Coord.t }
+    | Restore of Mesh.link
+
+  type t = { mesh : Mesh.t; events : event array }
+
+  let make mesh events = { mesh; events = Array.of_list events }
+  let mesh t = t.mesh
+  let events t = Array.to_list t.events
+  let length t = Array.length t.events
+
+  let apply fault event =
+    match event with
+    | Kill_link l -> kill_link fault l
+    | Degrade_link (l, f) -> degrade_link fault l f
+    | Kill_router c -> kill_router fault c
+    | Kill_region { a; b } -> kill_region fault ~a ~b
+    | Restore l -> set_edge fault l 1.
+
+  let final ?init t =
+    let f0 = match init with Some f -> f | None -> healthy t.mesh in
+    Array.fold_left apply f0 t.events
+
+  let play ?init t =
+    let f0 = match init with Some f -> f | None -> healthy t.mesh in
+    let cur = ref f0 and acc = ref [] in
+    Array.iter
+      (fun e ->
+        cur := apply !cur e;
+        acc := !cur :: !acc)
+      t.events;
+    List.rev !acc
+
+  (* Directed links whose capacity the event may change; duplicates are
+     possible for regions (links between two inside routers). *)
+  let touched mesh event =
+    match event with
+    | Kill_link l | Degrade_link (l, _) | Restore l -> [ l; reverse l ]
+    | Kill_router c -> incident_links mesh c
+    | Kill_region { a; b } ->
+        let lo_r = min a.Coord.row b.Coord.row
+        and hi_r = max a.Coord.row b.Coord.row in
+        let lo_c = min a.Coord.col b.Coord.col
+        and hi_c = max a.Coord.col b.Coord.col in
+        Array.fold_left
+          (fun acc (c : Coord.t) ->
+            if c.row >= lo_r && c.row <= hi_r && c.col >= lo_c && c.col <= hi_c
+            then incident_links mesh c @ acc
+            else acc)
+          [] (Mesh.all_cores mesh)
+
+  let random ?init ?(factors = default_factors) ~choose ~events:n mesh =
+    if n < 0 then invalid_arg "Fault.Schedule.random: negative events";
+    if Array.length factors = 0 then
+      invalid_arg "Fault.Schedule.random: no factors";
+    let fault =
+      ref (match init with Some f -> f | None -> healthy mesh)
+    in
+    let evs = ref [] in
+    let pick a = a.(choose (Array.length a)) in
+    for _ = 1 to n do
+      let alive = alive_edges !fault in
+      let broken = broken_edges !fault in
+      (* One draw per event keeps the chooser call pattern uniform, so the
+         generated prefix is independent of how long the schedule is. *)
+      let k = choose 20 in
+      let event =
+        if Array.length alive = 0 && Array.length broken = 0 then
+          (* Degenerate link-less mesh: only router events are expressible. *)
+          Kill_router (pick (Mesh.all_cores mesh))
+        else if Array.length alive = 0 then Restore (pick broken)
+        else if k < 9 then Kill_link (pick alive)
+        else if k < 14 then Degrade_link (pick alive, pick factors)
+        else if k < 15 then Kill_router (pick (Mesh.all_cores mesh))
+        else if k < 16 then begin
+          let a = pick (Mesh.all_cores mesh) in
+          let clip v hi = max 1 (min hi v) in
+          let b =
+            Coord.make
+              ~row:(clip (a.Coord.row + choose 2) (Mesh.rows mesh))
+              ~col:(clip (a.Coord.col + choose 2) (Mesh.cols mesh))
+          in
+          Kill_region { a; b }
+        end
+        else if Array.length broken = 0 then Kill_link (pick alive)
+        else Restore (pick broken)
+      in
+      fault := apply !fault event;
+      evs := event :: !evs
+    done;
+    { mesh; events = Array.of_list (List.rev !evs) }
+
+  let pp_event ppf = function
+    | Kill_link l -> Format.fprintf ppf "kill %a" Mesh.pp_link l
+    | Degrade_link (l, f) ->
+        Format.fprintf ppf "degrade %a to %g" Mesh.pp_link l f
+    | Kill_router c -> Format.fprintf ppf "kill router %a" Coord.pp c
+    | Kill_region { a; b } ->
+        Format.fprintf ppf "kill region %a..%a" Coord.pp a Coord.pp b
+    | Restore l -> Format.fprintf ppf "restore %a" Mesh.pp_link l
+end

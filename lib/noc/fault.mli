@@ -37,7 +37,7 @@ val kill_link : t -> Mesh.link -> t
 
 val degrade_link : t -> Mesh.link -> float -> t
 (** Set both directions of the edge to the given factor.
-    @raise Invalid_argument if the factor is outside [[0, 1]]. *)
+    @raise Invalid_argument if the factor is NaN or outside [[0, 1]]. *)
 
 val kill_router : t -> Coord.t -> t
 (** Kill every edge incident to the core.
@@ -85,3 +85,68 @@ val random_degraded :
     @raise Invalid_argument if [factors] is empty. *)
 
 val pp : Format.formatter -> t -> unit
+
+type fault = t
+(** Alias so {!Schedule} can name the outer scenario type. *)
+
+(** {1 Fault-event schedules}
+
+    A schedule is a replayable timeline of topology events — the input to
+    the run-time recovery engine ([Optim.Recover]). Generation uses the
+    same [choose]-callback style as {!random_dead}, so a schedule drawn
+    from a seeded [Traffic.Rng] is reproducible and jobs-invariant, and
+    sequential generation makes an [n+1]-event schedule extend the
+    [n]-event one drawn from the same chooser (prefix nesting). *)
+module Schedule : sig
+  type event =
+    | Kill_link of Mesh.link  (** Both directions of the edge die. *)
+    | Degrade_link of Mesh.link * float
+        (** Both directions drop to the given capacity factor. *)
+    | Kill_router of Coord.t  (** Every incident edge dies. *)
+    | Kill_region of { a : Coord.t; b : Coord.t }
+        (** Regional outage: every router in the rectangle dies. *)
+    | Restore of Mesh.link
+        (** Both directions of the edge return to factor [1.]. *)
+
+  type t
+
+  val make : Mesh.t -> event list -> t
+  val mesh : t -> Mesh.t
+  val events : t -> event list
+  val length : t -> int
+
+  val apply : fault -> event -> fault
+  (** Fold one event into a scenario.
+      @raise Invalid_argument on an event naming an out-of-mesh core. *)
+
+  val final : ?init:fault -> t -> fault
+  (** Scenario after every event, starting from [init] (default
+      {!healthy}). *)
+
+  val play : ?init:fault -> t -> fault list
+  (** Scenario after each successive event ([length t] elements). *)
+
+  val touched : Mesh.t -> event -> Mesh.link list
+  (** Directed links whose capacity the event may change (both directions;
+      may contain duplicates for regions). *)
+
+  val random :
+    ?init:fault ->
+    ?factors:float array ->
+    choose:(int -> int) ->
+    events:int ->
+    Mesh.t ->
+    t
+  (** Draw an [events]-long schedule. Each event is, with fixed weights,
+      a kill of a random alive edge (9/20), a degradation of one to a
+      factor from [factors] (5/20, default {!random_degraded}'s), a router
+      kill (1/20), a small regional outage (1/20), or a restore of a
+      random broken edge (4/20, falling back to a kill when nothing is
+      broken). Generation tracks the evolving scenario starting from
+      [init] (default {!healthy}), so targets always exist; when every
+      edge is dead a restore is forced.
+      @raise Invalid_argument if [events] is negative or [factors] is
+      empty. *)
+
+  val pp_event : Format.formatter -> event -> unit
+end

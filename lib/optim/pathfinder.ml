@@ -215,10 +215,89 @@ let remove_route eng (r : Routing.Solution.route) =
 
 let route_crosses mesh over (r : Routing.Solution.route) =
   let hit = ref false in
-  let look l = if over.(Noc.Mesh.link_id mesh l) then hit := true in
-  List.iter (fun (p, _) -> Noc.Path.iter_links p look) r.paths;
-  List.iter (fun (w, _) -> Noc.Walk.iter_links w look) r.detours;
+  Routing.Solution.iter_route_links r (fun l ->
+      if over.(Noc.Mesh.link_id mesh l) then hit := true);
   !hit
+
+type refinement = {
+  routes : Routing.Solution.route array;
+  feasible : bool;
+  passes : int;
+  rips : int;
+}
+
+(* Negotiation over an existing journal: rip up and reroute only the
+   given routes (which the engine's loads must already contain), leaving
+   every other contribution in place. The recovery engine's rung-3/4
+   entry point — neighborhood passes hand in the routes crossing the
+   faulted region, global passes hand in everything live. [history] is
+   the caller's array so repulsion persists across calls (and across
+   fault events). *)
+let refine ?(iterations = default_iterations) ~history eng routes =
+  if iterations < 0 then invalid_arg "Pathfinder.refine: iterations < 0";
+  let loads = Routing.Delta.loads eng in
+  let sc = Routing.Delta.scorer_of eng in
+  let model = Routing.Delta.model eng in
+  let mesh = Noc.Load.mesh loads in
+  let capacity = model.Power.Model.capacity in
+  let n = Array.length routes in
+  let routes = Array.copy routes in
+  (* Heaviest first, ties by input position — same discipline as
+     {!negotiate}. *)
+  let order = Array.init n Fun.id in
+  Array.stable_sort
+    (fun a b ->
+      Float.compare
+        routes.(b).Routing.Solution.comm.Traffic.Communication.rate
+        routes.(a).Routing.Solution.comm.Traffic.Communication.rate)
+    order;
+  let passes = ref 0 and rips = ref 0 in
+  let rep = ref (Routing.Delta.report eng) in
+  while (not !rep.Routing.Evaluate.feasible) && !passes < iterations do
+    incr passes;
+    bump_iterations ();
+    let over = Array.make (Noc.Mesh.num_links mesh) false in
+    List.iter
+      (fun ((l : Noc.Mesh.link), _) ->
+        let id = Noc.Mesh.link_id mesh l in
+        over.(id) <- true;
+        let o = Noc.Load.overload loads ~capacity id in
+        let o = if Float.is_finite o then o else 1. in
+        history.(id) <- history.(id) +. 1. +. o)
+      !rep.Routing.Evaluate.overloaded;
+    Array.iter
+      (fun i ->
+        let r = routes.(i) in
+        if route_crosses mesh over r then begin
+          incr rips;
+          bump_rips ()
+        end;
+        let m = Routing.Delta.mark eng in
+        match
+          remove_route eng r;
+          let r' =
+            search model sc loads history ~capacity r.Routing.Solution.comm
+          in
+          add_route eng r';
+          r'
+        with
+        | r' ->
+            Routing.Delta.commit eng m;
+            routes.(i) <- r'
+        | exception Routing.Repair.No_route _ ->
+            (* Keep the old route: the candidate set may shrink to a
+               usable state some other way (shedding); never escalate a
+               refinement into a crash. *)
+            Routing.Delta.rollback eng m)
+      order;
+    rep := Routing.Delta.report eng
+  done;
+  {
+    routes;
+    feasible = !rep.Routing.Evaluate.feasible;
+    passes = !passes;
+    rips = !rips;
+  }
 
 let negotiate ?(iterations = default_iterations) ?fault model mesh comms =
   if iterations < 1 then invalid_arg "Pathfinder.negotiate: iterations < 1";

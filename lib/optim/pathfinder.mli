@@ -55,6 +55,32 @@ val negotiate :
     Raises {!Routing.Repair.No_route} when a communication's endpoints
     are disconnected by the fault. *)
 
+type refinement = {
+  routes : Routing.Solution.route array;
+      (** The candidate routes after refinement, in the caller's order
+          (unrouted candidates keep their old route). *)
+  feasible : bool;  (** The engine's final report was feasible. *)
+  passes : int;  (** Negotiation sweeps actually run (0 when already
+                     feasible or [iterations] is 0). *)
+  rips : int;  (** Candidates ripped off a convicted link. *)
+}
+
+val refine :
+  ?iterations:int ->
+  history:float array ->
+  Routing.Delta.t ->
+  Routing.Solution.route array ->
+  refinement
+(** Negotiation over an {e existing} journal whose loads must already
+    contain the given routes (plus any fixed background traffic): rip up
+    and reroute only those candidates, heaviest first, until the report
+    is feasible or [iterations] (default 32, may be 0) sweeps have run.
+    [history] belongs to the caller and is grown in place on convicted
+    links, so repulsion persists across calls. A candidate whose
+    endpoints are disconnected keeps its old route (rolled back
+    bit-exactly) instead of raising. Bumps [pf_iterations]/[pf_rips].
+    The incremental recovery engine's neighborhood and global rungs. *)
+
 val engine :
   ?iterations:int ->
   ?fault:Noc.Fault.t ->

@@ -49,6 +49,31 @@ let test_degrade_link () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
+let test_degrade_link_rejects_nan () =
+  (* Regression: NaN slipped through the old [f < 0. || f > 1.] guard
+     (every comparison with NaN is false) and poisoned effective-load
+     arithmetic downstream. *)
+  let healthy = Noc.Fault.healthy (Noc.Mesh.square 3) in
+  let rejects tag f =
+    check_bool tag true
+      (match Noc.Fault.degrade_link healthy (link 1 1 1 2) f with
+      | _ -> false
+      | exception Invalid_argument _ -> true)
+  in
+  rejects "NaN rejected" Float.nan;
+  rejects "negative rejected" (-0.25);
+  rejects "infinity rejected" Float.infinity;
+  rejects "negative zero times infinity rejected" (0. /. 0.);
+  (* The closed boundaries stay legal: 0. is a kill, 1. a no-op. *)
+  check_float "factor 0 accepted" 0.
+    (Noc.Fault.factor_link
+       (Noc.Fault.degrade_link healthy (link 1 1 1 2) 0.)
+       (link 1 1 1 2));
+  check_float "factor 1 accepted" 1.
+    (Noc.Fault.factor_link
+       (Noc.Fault.degrade_link healthy (link 1 1 1 2) 1.)
+       (link 1 1 1 2))
+
 let test_kill_router_disconnects () =
   let mesh = Noc.Mesh.create ~rows:1 ~cols:3 in
   let f = Noc.Fault.kill_router (Noc.Fault.healthy mesh) (coord 1 2) in
@@ -269,6 +294,74 @@ let solution_respects fault s =
            route.detours)
     (Routing.Solution.routes s)
 
+(* ------------------------------------------------------------------ *)
+(* Repair as a property, on both delta backends *)
+
+let with_backend b f =
+  Routing.Delta.set_table_backend b;
+  Fun.protect ~finally:(fun () -> Routing.Delta.set_table_backend None) f
+
+let both_backends prop =
+  List.for_all
+    (fun backend -> with_backend (Some backend) prop)
+    [ true; false ]
+
+let repair_instance seed kills =
+  let mesh = Noc.Mesh.square 6 in
+  let rng = Traffic.Rng.create seed in
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n:8
+      ~weight:(Traffic.Workload.weight ~lo:200. ~hi:1200.)
+  in
+  let fault =
+    Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng) ~kills mesh
+  in
+  (mesh, fault, Routing.Xy.route mesh comms)
+
+let prop_repair_idempotent =
+  QCheck.Test.make
+    ~name:"repair is idempotent: repairing a repaired solution changes nothing"
+    ~count:30
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 6))
+    (fun (seed, kills) ->
+      both_backends @@ fun () ->
+      let _, fault, s = repair_instance seed kills in
+      let r1 = Routing.Repair.solution fault km s in
+      let r2 = Routing.Repair.solution fault km r1 in
+      Routing.Solution.routes r2 = Routing.Solution.routes r1
+      && Routing.Solution.detour_hops r2 = Routing.Solution.detour_hops r1)
+
+let prop_repair_avoids_dead_links =
+  (* Under arbitrary router / region outages the repair either returns a
+     solution free of dead links, or raises the structured No_route for a
+     communication whose endpoints are genuinely disconnected. *)
+  QCheck.Test.make ~name:"repaired routes never traverse dead links"
+    ~count:30
+    QCheck.(
+      triple (int_range 0 1_000_000) (int_range 0 35) (int_range 0 35))
+    (fun (seed, a, b) ->
+      both_backends @@ fun () ->
+      let mesh = Noc.Mesh.square 6 in
+      let rng = Traffic.Rng.create seed in
+      let comms =
+        Traffic.Workload.uniform rng mesh ~n:6
+          ~weight:(Traffic.Workload.weight ~lo:200. ~hi:900.)
+      in
+      let core i = coord ((i / 6) + 1) ((i mod 6) + 1) in
+      let fault =
+        Noc.Fault.kill_region
+          (Noc.Fault.kill_router (Noc.Fault.healthy mesh) (core a))
+          ~a:(core b) ~b:(core (min 35 (b + 7)))
+      in
+      let s = Routing.Xy.route mesh comms in
+      match Routing.Repair.solution fault km s with
+      | exception Routing.Repair.No_route c ->
+          (* The exception must only fire on true disconnection. *)
+          Routing.Repair.detour fault mesh ~src:c.Traffic.Communication.src
+            ~snk:c.Traffic.Communication.snk
+          = None
+      | repaired -> solution_respects fault repaired)
+
 let test_all_heuristics_avoid_dead_links () =
   let mesh = Noc.Mesh.square 6 in
   let rng = Traffic.Rng.create 21 in
@@ -390,6 +483,7 @@ let () =
           quick "healthy is trivial" test_healthy_is_trivial;
           quick "kill link" test_kill_link_both_directions;
           quick "degrade link" test_degrade_link;
+          quick "degrade link rejects NaN" test_degrade_link_rejects_nan;
           quick "kill router" test_kill_router_disconnects;
           quick "kill region" test_kill_region;
           quick "random dead" test_random_dead_respects_kills_and_connectivity;
@@ -415,6 +509,8 @@ let () =
           quick "detour" test_repair_detours_when_manhattan_cut;
           quick "no route" test_repair_raises_when_disconnected;
           quick "detour helper" test_repair_detour_helper;
+          QCheck_alcotest.to_alcotest prop_repair_idempotent;
+          QCheck_alcotest.to_alcotest prop_repair_avoids_dead_links;
         ] );
       ( "heuristics",
         [

@@ -6,7 +6,7 @@ let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
 
 let test_figures_registered () =
-  check_int "twelve figures" 12 (List.length Harness.Figure.all);
+  check_int "thirteen figures" 13 (List.length Harness.Figure.all);
   check_bool "find fig8b" true
     (match Harness.Figure.find "FIG8B" with
     | Some f -> f.Harness.Figure.id = "fig8b"
@@ -14,6 +14,10 @@ let test_figures_registered () =
   check_bool "find figpf" true
     (match Harness.Figure.find "figpf" with
     | Some f -> f.Harness.Figure.id = "figpf"
+    | None -> false);
+  check_bool "find figrec" true
+    (match Harness.Figure.find "figrec" with
+    | Some f -> f.Harness.Figure.id = "figrec"
     | None -> false);
   check_bool "unknown" true (Harness.Figure.find "fig10" = None)
 
@@ -458,6 +462,9 @@ let test_checkpoint_corrupt_lines_tolerated () =
           delta_evals = 5;
           pf_iterations = 2;
           pf_rips = 4;
+          recover_events = 3;
+          recover_sheds = 1;
+          recover_rung_max = 9;
         };
     }
   in
@@ -653,6 +660,34 @@ let test_checkpoint_backcompat_without_counters () =
   | rows -> Alcotest.failf "expected the legacy row, got %d" (List.length rows));
   Sys.remove path
 
+let test_checkpoint_newer_version_fails_fast () =
+  (* A key-matched row whose cells carry more fields than this build
+     writes (20 > 19 here) was made by a newer manroute: silently
+     misparsing it would quietly recompute rows the user thinks are
+     checkpointed, so the loader must raise the typed error instead. *)
+  let path = temp_checkpoint "manroute_ckpt_newer.tsv" in
+  let oc = open_out path in
+  output_string oc
+    "row\tv1\ttiny\t1\t2\t0x1p+1\t1\tXY\t0x1p-1\t0x0p+0\t0x1p-2\t0x1p-7\t-\t0x0p+0\t-\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10\t11\t12\n";
+  close_out oc;
+  let key = { Harness.Checkpoint.figure_id = "tiny"; seed = 1; trials = 2 } in
+  (match Harness.Checkpoint.load ~path key with
+  | _ -> Alcotest.fail "expected Newer_version"
+  | exception Harness.Checkpoint.Newer_version { fields_per_cell; path = p } ->
+      check_int "cell arity surfaced" 20 fields_per_cell;
+      check_bool "offending path surfaced" true (p = path);
+      check_bool "printer names the remedy" true
+        (contains_substring
+           (Printexc.to_string
+              (Harness.Checkpoint.Newer_version { path = p; fields_per_cell }))
+           "newer manroute version"));
+  (* The same row under a different campaign key is filtered out before
+     the arity check: foreign sidecars never block an unrelated resume. *)
+  let other = { Harness.Checkpoint.figure_id = "other"; seed = 1; trials = 2 } in
+  check_bool "foreign keys skip the newer row" true
+    (Harness.Checkpoint.load ~path other = []);
+  Sys.remove path
+
 (* Fabricated observations with hand-picked powers, runtimes and counters:
    the raw material for the merge-determinism property and the quantile
    check. *)
@@ -686,6 +721,9 @@ let fabricated_obs i p =
             delta_evals = 4 * i;
             pf_iterations = i mod 2;
             pf_rips = 3 * i;
+            recover_events = i mod 5;
+            recover_sheds = i mod 4;
+            recover_rung_max = 5 * i;
           } );
       ]
 
@@ -803,6 +841,7 @@ let () =
             test_traced_campaign_matches_untraced;
           quick "counters deterministic" test_counters_deterministic_and_plausible;
           quick "checkpoint back-compat" test_checkpoint_backcompat_without_counters;
+          quick "checkpoint newer-version fail-fast" test_checkpoint_newer_version_fails_fast;
           quick "quantiles exact" test_summary_quantiles_exact;
           quick "progress accounting" test_progress_line_accounting;
           QCheck_alcotest.to_alcotest prop_summary_merge_bit_stable;
