@@ -19,6 +19,58 @@ let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable bench telemetry: the instrumented experiments
+   (E21-E24) also write BENCH_<id>.json — schema manroute-bench/1 with
+   the experiment's configuration, its per-row aggregates (means and
+   medians), the Routing.Metrics work-counter delta and the wall time —
+   to MANROUTE_BENCH_DIR (default "."). CI checks the shape with
+   bin/auditcheck. *)
+
+module J = Harness.Audit.Json
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | l ->
+      let a = Array.of_list l in
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let now_s () = Int64.to_float (Monotonic_clock.now ()) *. 1e-9
+
+let emit_bench ~bench ~config ~results ~counters ~wall_s =
+  let dir =
+    match Sys.getenv_opt "MANROUTE_BENCH_DIR" with
+    | Some d when d <> "" -> d
+    | _ -> "."
+  in
+  let path = Filename.concat dir ("BENCH_" ^ bench ^ ".json") in
+  Harness.Audit.write_json_file ~path
+    (J.Obj
+       [
+         ("schema", J.Str Harness.Audit.bench_schema);
+         ("bench", J.Str bench);
+         ("config", J.Obj config);
+         ("wall_s", J.Float wall_s);
+         ("counters", Harness.Audit.json_of_counters counters);
+         ("results", J.List results);
+       ]);
+  Format.printf "  -> %s@." path
+
+(* [instrumented ~bench ~config f] runs [f push], collecting the JSON
+   rows [f] pushes, and emits the BENCH file with the work-counter and
+   wall-clock deltas of the whole experiment. *)
+let instrumented ~bench ~config f =
+  let rows = ref [] in
+  let before = Routing.Metrics.snapshot () in
+  let t0 = now_s () in
+  f (fun r -> rows := r :: !rows);
+  let wall_s = now_s () -. t0 in
+  emit_bench ~bench ~config ~results:(List.rev !rows)
+    ~counters:(Routing.Metrics.diff (Routing.Metrics.snapshot ()) before)
+    ~wall_s
+
+(* ------------------------------------------------------------------ *)
 (* E1: Figure 2 *)
 
 let fig2 () =
@@ -520,9 +572,20 @@ let smp_sweep () =
     "  %d instances, %d defeat all six single-path heuristics@.@.  %3s %11s %14s %15s %15s %14s %9s@."
     trials n_failed "s" "feasible" "mean power" "/(FW lb+leak)"
     "same, cont. f" "/(diag+leak)" "rescued";
+  instrumented ~bench:"E22"
+    ~config:
+      [
+        ("mesh", J.Str "8x8");
+        ("seed", J.Int 313);
+        ("n", J.Int 25);
+        ("instances", J.Int trials);
+        ("defeated", J.Int n_failed);
+      ]
+  @@ fun push ->
   let row label solve =
     let feas = ref 0 and rescued = ref 0 and worse = ref 0 in
     let power_sum = ref 0. and n_feas_cmp = ref 0 in
+    let powers = ref [] in
     let r_fw = ref 0. and r_fw_cont = ref 0. and r_diag = ref 0. in
     List.iter
       (fun (comms, best, fw_lb, diag) ->
@@ -533,6 +596,7 @@ let smp_sweep () =
           if best = None then incr rescued;
           incr n_feas_cmp;
           power_sum := !power_sum +. r.total_power;
+          powers := r.total_power :: !powers;
           r_fw := !r_fw +. (r.total_power /. (fw_lb +. r.static_power));
           let c =
             Routing.Evaluate.solution Power.Model.kim_horowitz_continuous sol
@@ -556,7 +620,19 @@ let smp_sweep () =
       label !feas trials (!power_sum /. m) (!r_fw /. m) (!r_fw_cont /. m)
       (!r_diag /. m) !rescued n_failed
       (if !worse > 0 then Printf.sprintf "  (%d WORSE than 1-MP!)" !worse
-       else "")
+       else "");
+    push
+      (J.Obj
+         [
+           ("s", J.Str label);
+           ("feasible", J.Int !feas);
+           ("mean_power_mw", J.Float (!power_sum /. m));
+           ("median_power_mw", J.Float (median !powers));
+           ("ratio_fw", J.Float (!r_fw /. m));
+           ("ratio_fw_continuous", J.Float (!r_fw_cont /. m));
+           ("ratio_diag", J.Float (!r_diag /. m));
+           ("rescued", J.Int !rescued);
+         ])
   in
   List.iter
     (fun s ->
@@ -601,10 +677,21 @@ let pf_sweep () =
     "  %d instances, %d defeat all six single-path heuristics@.@.  %4s %11s %14s %15s %9s %9s@."
     trials n_failed "cap" "feasible" "mean power" "/(FW lb+leak)" "rescued"
     "rips/inst";
+  instrumented ~bench:"E23"
+    ~config:
+      [
+        ("mesh", J.Str "8x8");
+        ("seed", J.Int 313);
+        ("n", J.Int 25);
+        ("instances", J.Int trials);
+        ("defeated", J.Int n_failed);
+      ]
+  @@ fun push ->
   List.iter
     (fun cap ->
       let feas = ref 0 and rescued = ref 0 and worse = ref 0 in
       let power_sum = ref 0. and n_feas = ref 0 in
+      let powers = ref [] in
       let r_fw = ref 0. in
       let before = Routing.Metrics.snapshot () in
       List.iter
@@ -616,6 +703,7 @@ let pf_sweep () =
             if best = None then incr rescued;
             incr n_feas;
             power_sum := !power_sum +. r.total_power;
+            powers := r.total_power :: !powers;
             r_fw := !r_fw +. (r.total_power /. (fw_lb +. r.static_power))
           end;
           match best with
@@ -635,7 +723,19 @@ let pf_sweep () =
         !feas trials (!power_sum /. m) (!r_fw /. m) !rescued n_failed
         (float_of_int rips /. float_of_int trials)
         (if !worse > 0 then Printf.sprintf "  (%d WORSE than BEST!)" !worse
-         else ""))
+         else "");
+      push
+        (J.Obj
+           [
+             ("cap", J.Int cap);
+             ("feasible", J.Int !feas);
+             ("mean_power_mw", J.Float (!power_sum /. m));
+             ("median_power_mw", J.Float (median !powers));
+             ("ratio_fw", J.Float (!r_fw /. m));
+             ("rescued", J.Int !rescued);
+             ( "rips_per_instance",
+               J.Float (float_of_int rips /. float_of_int trials) );
+           ]))
     [ 1; 2; 4; 8; 16; 32 ]
 
 (* E24: the live-recovery engine — how gracefully an already-routed
@@ -668,9 +768,20 @@ let recover_sweep () =
      %6s %9s %12s %10s %21s %11s@."
     trials (List.length routed) "events" "survival" "live power" "shed/inst"
     "rungs 1|2|3|4|5" "passes/inst";
+  instrumented ~bench:"E24"
+    ~config:
+      [
+        ("mesh", J.Str "8x8");
+        ("seed", J.Int 313);
+        ("n", J.Int 25);
+        ("instances", J.Int trials);
+        ("routed", J.Int (List.length routed));
+      ]
+  @@ fun push ->
   List.iter
     (fun events ->
       let surv = ref 0. and power = ref 0. in
+      let powers = ref [] in
       let sheds = ref 0 and passes = ref 0 in
       let rungs = Array.make 6 0 in
       List.iter
@@ -693,6 +804,7 @@ let recover_sweep () =
               let last = List.nth reports (List.length reports - 1) in
               surv := !surv +. last.Optim.Recover.survival;
               power := !power +. last.Optim.Recover.power_after;
+              powers := last.Optim.Recover.power_after :: !powers;
               sheds := !sheds + List.length (Optim.Recover.shed t);
               List.iter
                 (fun (r : Optim.Recover.report) ->
@@ -707,7 +819,19 @@ let recover_sweep () =
         (!power /. m)
         (float_of_int !sheds /. m)
         rungs.(1) rungs.(2) rungs.(3) rungs.(4) rungs.(5)
-        (float_of_int !passes /. m))
+        (float_of_int !passes /. m);
+      push
+        (J.Obj
+           [
+             ("events", J.Int events);
+             ("survival", J.Float (!surv /. m));
+             ("mean_live_power_mw", J.Float (!power /. m));
+             ("median_live_power_mw", J.Float (median !powers));
+             ("shed_per_instance", J.Float (float_of_int !sheds /. m));
+             ( "rungs",
+               J.List (List.init 5 (fun i -> J.Int rungs.(i + 1))) );
+             ("passes_per_instance", J.Float (float_of_int !passes /. m));
+           ]))
     [ 2; 4; 8; 16; 32 ]
 
 (* E13: the paper's open problem — single source/destination pair, how much
@@ -921,12 +1045,29 @@ let delta_bench () =
     ignore (run ()) (* warm up *);
     run ()
   in
+  instrumented ~bench:"E21"
+    ~config:
+      [
+        ("mesh", J.Str "8x8");
+        ("seed", J.Int 888);
+        ("n", J.Int 40);
+        ("candidates", J.Int (Array.length candidates));
+      ]
+  @@ fun push ->
   let ops_full = throughput score_full in
   let ops_delta = throughput score_delta in
   Format.printf "  candidate paths per sweep: %d@." (Array.length candidates);
   Format.printf "  full re-evaluation      : %12.0f paths/s@." ops_full;
   Format.printf "  delta engine            : %12.0f paths/s@." ops_delta;
   Format.printf "  speedup: %.2fx@." (ops_delta /. ops_full);
+  push
+    (J.Obj
+       [
+         ("name", J.Str "candidate_scoring");
+         ("full_paths_per_s", J.Float ops_full);
+         ("delta_paths_per_s", J.Float ops_delta);
+         ("speedup", J.Float (ops_delta /. ops_full));
+       ]);
   (* Part 2: the per-link cost lookup underneath, in isolation. *)
   let marginal cost (path, rate) =
     let acc = ref 0. in
@@ -949,7 +1090,15 @@ let delta_bench () =
   let ops_table = throughput (marginal table) in
   Format.printf
     "  per-link lookup: direct %.0f paths/s, table %.0f paths/s (%.2fx)@."
-    ops_direct ops_table (ops_table /. ops_direct)
+    ops_direct ops_table (ops_table /. ops_direct);
+  push
+    (J.Obj
+       [
+         ("name", J.Str "per_link_lookup");
+         ("full_paths_per_s", J.Float ops_direct);
+         ("delta_paths_per_s", J.Float ops_table);
+         ("speedup", J.Float (ops_table /. ops_direct));
+       ])
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks *)

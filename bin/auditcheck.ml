@@ -1,0 +1,35 @@
+(* auditcheck: validate the machine-readable artifacts the harness emits —
+   audit JSONL files ([--audit DIR] / MANROUTE_AUDIT), inspect artifacts
+   (manroute inspect --json) and bench summaries (BENCH_*.json). Shape is
+   checked against the fixed schema each writer emits; no external JSON
+   tool needed. Exit 0 on success, 1 with the first problem otherwise.
+
+   usage: auditcheck (audit|bench) FILE... *)
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: mode :: (_ :: _ as files)
+    when mode = "audit" || mode = "bench" ->
+      let ok = ref true in
+      List.iter
+        (fun path ->
+          let result =
+            if mode = "audit" then
+              Result.map
+                (Printf.sprintf "%d records")
+                (Harness.Audit.validate_file path)
+            else
+              Result.map
+                (fun () -> "ok")
+                (Harness.Audit.validate_bench_file path)
+          in
+          match result with
+          | Ok msg -> Printf.printf "%s: %s\n" path msg
+          | Error msg ->
+              Printf.eprintf "%s: invalid %s artifact: %s\n" path mode msg;
+              ok := false)
+        files;
+      exit (if !ok then 0 else 1)
+  | _ ->
+      prerr_endline "usage: auditcheck (audit|bench) FILE...";
+      exit 2

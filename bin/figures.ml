@@ -3,7 +3,9 @@
    ./results; worker domains: second argument, default MANROUTE_JOBS or
    the core count. Trials per point: MANROUTE_TRIALS (default 150).
    MANROUTE_TRACE=FILE records the whole run as a Chrome trace;
-   MANROUTE_PROGRESS=1 keeps a live progress line on stderr.
+   MANROUTE_PROGRESS=1 keeps a live progress line on stderr;
+   MANROUTE_AUDIT=DIR appends per-figure JSON audit records (worst-power,
+   errored and shedding trials) under DIR.
 
    The campaign is crash-safe: each figure checkpoints its completed rows
    to <dir>/checkpoint.tsv, so a killed run resumes where it stopped with
@@ -36,7 +38,9 @@ let () =
                ())
       in
       let r =
-        Harness.Runner.run ?jobs ~summary:acc ~checkpoint ?progress figure
+        Harness.Runner.run ?jobs ~summary:acc ~checkpoint ?progress
+          ?audit:(Harness.Audit.audit_dir ())
+          figure
       in
       Option.iter Harness.Telemetry.Progress.finish progress;
       Format.printf "%a@." Harness.Render.pp_result r;

@@ -1,7 +1,9 @@
 (* manroute: command-line front end for the power-aware Manhattan routing
    library. Sub-commands: route (solve one instance), figure (reproduce a
-   paper figure), theory (Section 4 artifacts), optimal (exact solver vs
-   heuristics), generate (write a random problem file). *)
+   paper figure), inspect (per-link power grid, per-communication
+   attribution and blame of one solution), theory (Section 4 artifacts),
+   optimal (exact solver vs heuristics), generate (write a random problem
+   file). *)
 
 open Cmdliner
 
@@ -334,7 +336,20 @@ let figure_cmd =
              stderr; resumed checkpoint rows are credited instantly. Also \
              enabled by MANROUTE_PROGRESS=1.")
   in
-  let run id trials csv seed jobs checkpoint trace progress =
+  let audit_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "audit" ] ~docv:"DIR"
+          ~doc:
+            "Append one JSON audit record per noteworthy trial (each \
+             row's worst-power trial, every errored trial, every \
+             traffic-shedding trial) to DIR/<figure>-audit.jsonl — \
+             per-heuristic reports, engine annotations and the full probe \
+             decomposition of the best solution. Byte-identical for every \
+             $(b,--jobs) value. Default: MANROUTE_AUDIT when set.")
+  in
+  let run id trials csv seed jobs checkpoint trace progress audit =
     let figures =
       if String.lowercase_ascii id = "all" then Harness.Figure.all
       else
@@ -372,7 +387,9 @@ let figure_cmd =
         in
         let r =
           Harness.Runner.run ?trials ?jobs ~seed ~summary:acc ?checkpoint
-            ?progress figure
+            ?progress
+            ?audit:(Harness.Audit.audit_dir ?cli:audit ())
+            figure
         in
         Option.iter Harness.Telemetry.Progress.finish progress;
         Format.printf "%a@." Harness.Render.pp_result r;
@@ -387,10 +404,244 @@ let figure_cmd =
   let term =
     Term.(
       const run $ id_t $ trials_t $ csv_t $ seed_t $ jobs_t $ checkpoint_t
-      $ trace_t $ progress_t)
+      $ trace_t $ progress_t $ audit_t)
   in
   Cmd.v
     (Cmd.info "figure" ~doc:"Reproduce a simulation figure of the paper")
+    term
+
+(* ---------------- inspect ---------------- *)
+
+let inspect_cmd =
+  let heuristic_t =
+    Arg.(
+      value & opt string "best"
+      & info [ "heuristic" ]
+          ~doc:
+            "Routing policy to probe: $(b,best) (cheapest feasible of the \
+             paper's six; falls back to the least-overloaded attempt when \
+             none is feasible) or any name the $(b,route) command accepts \
+             (XY, SG, ..., smp4, pf, rec8, ...).")
+  in
+  let trial_t =
+    Arg.(
+      value
+      & opt nonneg_int_conv 0
+      & info [ "trial" ] ~docv:"N"
+          ~doc:
+            "Skip the first N workload draws of the seed's stream and \
+             inspect the (N+1)-th — the same sequence a sequential \
+             experiment draws from one generator, so pinned bench \
+             instances (E22/E23's seed 313) can be replayed by index.")
+  in
+  let kill_t =
+    Arg.(
+      value
+      & opt nonneg_int_conv 0
+      & info [ "kill" ] ~docv:"N"
+          ~doc:
+            "Kill N random links (connectivity-preserving, seeded from \
+             $(b,--seed)) before routing, as in $(b,route).")
+  in
+  let json_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:
+            "Also write the full probe decomposition (per-link grid, \
+             per-communication attribution, blame sets) as a \
+             manroute-inspect/1 JSON artifact to PATH.")
+  in
+  let top_t =
+    Arg.(
+      value & opt pos_int_conv 5
+      & info [ "top" ] ~docv:"K"
+          ~doc:"Communications to list in the attribution table (default 5).")
+  in
+  let run mesh model seed n weights file heuristic trial kill json top =
+    let instance =
+      match file with
+      | Some path -> (
+          match Harness.Problem.parse_file path with
+          | Ok p -> Ok (p.Harness.Problem.mesh, p.comms)
+          | Error m -> Error m)
+      | None ->
+          let lo, hi = weights in
+          let rng = Traffic.Rng.create seed in
+          let weight = Traffic.Workload.weight ~lo ~hi in
+          let draw () = Traffic.Workload.uniform rng mesh ~n ~weight in
+          for _ = 1 to trial do
+            ignore (draw ())
+          done;
+          Ok (mesh, draw ())
+    in
+    match instance with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok (mesh, comms) ->
+        Format.printf "%d communications on %a, %a (seed %d, trial %d)@."
+          (List.length comms) Noc.Mesh.pp mesh Power.Model.pp model seed trial;
+        let fault =
+          if kill = 0 then None
+          else begin
+            let rng = Traffic.Rng.of_key "cli-kill" [ Int64.of_int seed ] in
+            let f =
+              Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng) ~kills:kill
+                mesh
+            in
+            Format.printf "%a@." Noc.Fault.pp f;
+            Some f
+          end
+        in
+        let heuristics =
+          if String.lowercase_ascii heuristic = "best" then
+            Routing.Heuristic.all
+          else
+            match Routing.Heuristic.find_extended heuristic with
+            | Some h -> [ h ]
+            | None ->
+                Printf.eprintf "unknown heuristic %s\n" heuristic;
+                exit 1
+        in
+        (* Run the heuristics one by one, draining the engines'
+           annotation stashes around each, so negotiation and recovery
+           telemetry can be printed next to the cell that produced it. *)
+        let attempts =
+          List.map
+            (fun (h : Routing.Heuristic.t) ->
+              ignore (Optim.Pathfinder.take_annotation ());
+              ignore (Optim.Recover.take_reports ());
+              match h.run ?fault model mesh comms with
+              | solution ->
+                  ( h,
+                    Ok
+                      {
+                        Routing.Best.heuristic = h;
+                        solution;
+                        report = Routing.Evaluate.solution ?fault model solution;
+                      },
+                    Optim.Pathfinder.take_annotation (),
+                    Optim.Recover.take_reports () )
+              | exception e -> (h, Error (Printexc.to_string e), None, None))
+            heuristics
+        in
+        List.iter
+          (fun ((h : Routing.Heuristic.t), r, pf, rec_) ->
+            (match r with
+            | Ok (o : Routing.Best.outcome) ->
+                Format.printf "%-5s %a@." h.name Routing.Evaluate.pp_report
+                  o.report
+            | Error m -> Format.printf "%-5s error: %s@." h.name m);
+            (match pf with
+            | Some (a : Optim.Pathfinder.annotation) ->
+                Format.printf
+                  "      negotiation: %d iterations, %d rips, %s@."
+                  a.Optim.Pathfinder.a_iterations a.a_rips
+                  (if a.a_kept then "result kept" else "fell back to base")
+            | None -> ());
+            match rec_ with
+            | Some reports ->
+                List.iteri
+                  (fun i (r : Optim.Recover.report) ->
+                    Format.printf
+                      "      event %2d: %-28s rung %d | live %d | shed %d@."
+                      (i + 1)
+                      (Format.asprintf "%a" Noc.Fault.Schedule.pp_event
+                         r.Optim.Recover.event)
+                      r.rung r.live
+                      (List.length r.shed_now))
+                  reports
+            | None -> ())
+          attempts;
+        let outcomes =
+          List.filter_map (fun (_, r, _, _) -> Result.to_option r) attempts
+        in
+        let chosen =
+          match Routing.Best.best_of outcomes with
+          | Some o -> Some (o, "best feasible")
+          | None ->
+              (* Probing an infeasible attempt is the point when nothing is
+                 feasible: the blame sets say which links to negotiate
+                 away. Pick the attempt closest to feasibility. *)
+              List.fold_left
+                (fun acc (o : Routing.Best.outcome) ->
+                  match acc with
+                  | Some ((b : Routing.Best.outcome), _)
+                    when List.length b.report.Routing.Evaluate.overloaded
+                         <= List.length o.report.Routing.Evaluate.overloaded
+                    -> acc
+                  | _ -> Some (o, "least overloaded; no feasible routing"))
+                None outcomes
+        in
+        (match chosen with
+        | None ->
+            Printf.eprintf "every heuristic errored\n";
+            exit 1
+        | Some (o, label) ->
+            let probe = Routing.Probe.solution ?fault model o.solution in
+            Format.printf "@.probe of %s (%s)@.%a@."
+              o.heuristic.Routing.Heuristic.name label Routing.Probe.pp probe;
+            Format.printf "@.link loads:@.%s"
+              (Harness.Render.heatmap ~capacity:model.Power.Model.capacity
+                 (Routing.Solution.loads ?fault o.solution));
+            Format.printf "@.link power:@.%s"
+              (Harness.Render.power_heatmap probe);
+            let rows =
+              List.sort
+                (fun (a : Routing.Probe.comm_row) (b : Routing.Probe.comm_row) ->
+                  compare b.attributed a.attributed)
+                probe.Routing.Probe.comms
+            in
+            Format.printf "@.top communications by attributed power:@.";
+            List.iteri
+              (fun i (c : Routing.Probe.comm_row) ->
+                if i < top then
+                  Format.printf
+                    "  #%-3d %s->%s %7.1f Mb/s | %9.2f mW over %d links%s@."
+                    c.comm.Traffic.Communication.id
+                    (Noc.Coord.to_string c.comm.Traffic.Communication.src)
+                    (Noc.Coord.to_string c.comm.Traffic.Communication.snk)
+                    c.comm.Traffic.Communication.rate c.attributed
+                    (List.length c.links)
+                    (if c.convicted = [] then ""
+                     else
+                       Printf.sprintf " | convicted on %s"
+                         (String.concat ","
+                            (List.map
+                               (fun id -> "#" ^ string_of_int id)
+                               c.convicted))))
+              rows;
+            match json with
+            | None -> ()
+            | Some path ->
+                let open Harness.Audit.Json in
+                Harness.Audit.write_inspect_file ~path
+                  ~meta:
+                    [
+                      ("mesh", Str (Format.asprintf "%a" Noc.Mesh.pp mesh));
+                      ("model", Str (Format.asprintf "%a" Power.Model.pp model));
+                      ("seed", Int seed);
+                      ("trial", Int trial);
+                      ("n", Int (List.length comms));
+                      ("kill", Int kill);
+                      ( "heuristic",
+                        Str o.heuristic.Routing.Heuristic.name );
+                    ]
+                  probe;
+                Format.printf "@.json: %s@." path)
+  in
+  let term =
+    Term.(
+      const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t
+      $ heuristic_t $ trial_t $ kill_t $ json_t $ top_t)
+  in
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Decompose a routing: per-link power grid, per-communication \
+          attribution, overload blame")
     term
 
 (* ---------------- recover ---------------- *)
@@ -692,6 +943,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            route_cmd; generate_cmd; figure_cmd; recover_cmd; pattern_cmd;
-            theory_cmd; optimal_cmd;
+            route_cmd; generate_cmd; figure_cmd; inspect_cmd; recover_cmd;
+            pattern_cmd; theory_cmd; optimal_cmd;
           ]))

@@ -147,19 +147,28 @@ let parse_counters ?(de = "0") ?(pi = "0") ?(pr = "0") ?(re = "0") ?(rs = "0")
   | _ -> None
 
 exception
-  Newer_version of { path : string; fields_per_cell : int }
+  Newer_version of { path : string; line : int; fields_per_cell : int }
+
+exception Corrupt of { path : string; line : int; reason : string }
 
 let () =
   Printexc.register_printer (function
-    | Newer_version { path; fields_per_cell } ->
+    | Newer_version { path; line; fields_per_cell } ->
         Some
           (Printf.sprintf
-             "checkpoint %s is from a newer manroute version (%d fields per \
-              cell, this build reads at most %d); delete it or upgrade"
-             path fields_per_cell max_fields_per_cell)
+             "checkpoint %s, line %d: row from a newer manroute version (%d \
+              fields per cell, this build reads at most %d); delete it or \
+              upgrade"
+             path line fields_per_cell max_fields_per_cell)
+    | Corrupt { path; line; reason } ->
+        Some
+          (Printf.sprintf
+             "checkpoint %s, line %d: corrupt row (%s); delete the line (or \
+              the sidecar) to recompute it"
+             path line reason)
     | _ -> None)
 
-let parse_cells ~path n fields =
+let parse_cells ~path ~line n fields =
   (* Checkpoints written before the telemetry layer carry 8 fields per
      cell; the telemetry layer appended five counter ints (13), the
      delta engine a sixth (14), the PathFinder engine two more (16) and
@@ -177,7 +186,7 @@ let parse_cells ~path n fields =
     | len when n > 0 && len = n * 13 -> `Counters5
     | len when len = n * 8 -> `NoCounters
     | len when n > 0 && len mod n = 0 && len / n > max_fields_per_cell ->
-        raise (Newer_version { path; fields_per_cell = len / n })
+        raise (Newer_version { path; line; fields_per_cell = len / n })
     | _ -> `Counters11 (* wrong shape either way; fail in the loop below *)
   in
   let rec go acc k = function
@@ -245,7 +254,11 @@ let parse_cells ~path n fields =
   in
   go [] n fields
 
-let parse_line ~path key l =
+(* [`Foreign] is any line that does not claim to be one of this
+   campaign's rows (other magic/version/figure/seed/trials — the sidecar
+   is shared); [`Corrupt] is a line that does claim the key but fails to
+   parse, which load localizes by path and line number. *)
+let parse_line ~path ~line key l =
   match String.split_on_char '\t' l with
   | m :: v :: fid :: seed :: trials :: x :: ncells :: rest
     when m = magic && v = version ->
@@ -253,30 +266,43 @@ let parse_line ~path key l =
         fid <> key.figure_id
         || int_of_string_opt seed <> Some key.seed
         || int_of_string_opt trials <> Some key.trials
-      then None
+      then `Foreign
       else (
         match (parse_float x, int_of_string_opt ncells) with
         | Some x, Some n when n >= 0 -> (
-            match parse_cells ~path n rest with
-            | Some cells -> Some (x, cells)
-            | None -> None)
-        | _ -> None)
-  | _ -> None
+            match parse_cells ~path ~line n rest with
+            | Some cells -> `Row (x, cells)
+            | None -> `Corrupt "malformed cell fields")
+        | _ -> `Corrupt "unparsable x or cell count")
+  | _ -> `Foreign
 
 let load ~path key =
   if not (Sys.file_exists path) then []
   else begin
     let ic = open_in path in
-    let rows = ref [] in
+    let lines = ref [] in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
         try
           while true do
-            match parse_line ~path key (input_line ic) with
-            | Some row -> rows := row :: !rows
-            | None -> ()
+            lines := input_line ic :: !lines
           done
         with End_of_file -> ());
+    let lines = List.rev !lines in
+    let total = List.length lines in
+    let rows = ref [] in
+    List.iteri
+      (fun i l ->
+        match parse_line ~path ~line:(i + 1) key l with
+        | `Row row -> rows := row :: !rows
+        | `Foreign -> ()
+        | `Corrupt reason ->
+            (* The final line may simply be torn by a crash mid-write —
+               the case [append] heals — so only a corrupt row with rows
+               after it is real corruption, reported with its location
+               instead of silently recomputed. *)
+            if i + 1 <> total then raise (Corrupt { path; line = i + 1; reason }))
+      lines;
     List.rev !rows
   end

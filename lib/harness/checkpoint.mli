@@ -6,11 +6,15 @@
     resumed row is bit-identical to the row a fresh run would compute —
     determinism survives the crash.
 
-    The format is deliberately tolerant: a torn trailing line (the process
-    died mid-write), a corrupted line, or a line written by a different
-    campaign (other figure, seed, or trial count) is silently skipped on
-    load, never fatal. This module knows nothing about {!Runner} — the
-    runner converts its stats to {!cell}s and back. *)
+    The format is tolerant of what crashes and sharing legitimately
+    produce: a torn trailing line (the process died mid-write) and lines
+    written by a different campaign (other figure, seed, or trial count)
+    are silently skipped on load. A row that {e does} claim this
+    campaign's key but fails to parse anywhere before the final line is
+    real corruption and raises {!Corrupt} with the sidecar path and line
+    number — silently recomputing it would hide the damage. This module
+    knows nothing about {!Runner} — the runner converts its stats to
+    {!cell}s and back. *)
 
 type key = { figure_id : string; seed : int; trials : int }
 (** Identity of a campaign. Rows are only reused when all three match: a
@@ -34,12 +38,20 @@ type cell = {
 }
 (** Serialized form of one [Runner.stats] cell. *)
 
-exception Newer_version of { path : string; fields_per_cell : int }
+exception
+  Newer_version of { path : string; line : int; fields_per_cell : int }
 (** Raised by {!load} when a row that matches the key carries {e more}
     fields per cell than this build writes: the sidecar was produced by a
     newer manroute. Tolerating it would silently drop (and recompute) rows
     the user believes are checkpointed, so the mismatch is loud instead.
-    Registered with [Printexc] for a readable message. *)
+    [line] is the 1-based offending line. Registered with [Printexc] for
+    a readable message. *)
+
+exception Corrupt of { path : string; line : int; reason : string }
+(** Raised by {!load} on a row that matches the key but fails to parse —
+    unless it is the file's final line, which a crash can legitimately
+    tear and {!append} heals. Registered with [Printexc] for a readable
+    message naming the sidecar and the 1-based line. *)
 
 val append : path:string -> key -> x:float -> cell list -> unit
 (** Append one completed row and flush. Creates the file when missing; the
@@ -49,4 +61,6 @@ val load : path:string -> key -> (float * cell list) list
 (** All well-formed rows of [path] matching [key], in file order (a later
     duplicate of some [x] follows the earlier one). A missing file is an
     empty checkpoint.
-    @raise Newer_version on a matching row with too many fields per cell. *)
+    @raise Newer_version on a matching row with too many fields per cell.
+    @raise Corrupt on a matching row that fails to parse, unless it is
+    the (possibly torn) final line. *)

@@ -65,23 +65,12 @@ let csv (r : Runner.result) =
     r.rows;
   Buffer.contents buf
 
-let heatmap ?(capacity = 3500.) loads =
-  let mesh = Noc.Load.mesh loads in
+(* The shared chip frame: cores are [+], each inter-core gap renders
+   whatever [cell u v] says about the pair of opposite links between
+   cores [u] and [v]. *)
+let chip_map mesh cell =
   let p = Noc.Mesh.rows mesh and q = Noc.Mesh.cols mesh in
   let buf = Buffer.create 1024 in
-  let cell u v =
-    (* Busier direction of the two opposite links between cores u and v. *)
-    let load =
-      Float.max
-        (Noc.Load.get_link loads (Noc.Mesh.link ~src:u ~dst:v))
-        (Noc.Load.get_link loads (Noc.Mesh.link ~src:v ~dst:u))
-    in
-    if load <= 0. then '.'
-    else if load > capacity +. 1e-9 then '!'
-    else
-      let tenth = int_of_float (ceil (9. *. load /. capacity)) in
-      Char.chr (Char.code '0' + max 1 (min 9 tenth))
-  in
   for row = 1 to p do
     (* Core row with horizontal links. *)
     for col = 1 to q do
@@ -107,6 +96,47 @@ let heatmap ?(capacity = 3500.) loads =
     end
   done;
   Buffer.contents buf
+
+let heatmap ?(capacity = 3500.) loads =
+  let cell u v =
+    (* Busier direction of the two opposite links between cores u and v. *)
+    let load =
+      Float.max
+        (Noc.Load.get_link loads (Noc.Mesh.link ~src:u ~dst:v))
+        (Noc.Load.get_link loads (Noc.Mesh.link ~src:v ~dst:u))
+    in
+    if load <= 0. then '.'
+    else if load > capacity +. 1e-9 then '!'
+    else
+      let tenth = int_of_float (ceil (9. *. load /. capacity)) in
+      Char.chr (Char.code '0' + max 1 (min 9 tenth))
+  in
+  chip_map (Noc.Load.mesh loads) cell
+
+let power_heatmap (p : Routing.Probe.t) =
+  let mesh = p.Routing.Probe.mesh in
+  (* Scaled to the hottest finite link on this chip, not to an absolute
+     budget: the interesting question a power map answers is {e where}
+     the power goes, and a relative scale keeps the digits spread over
+     the whole range whatever the model's magnitudes are. *)
+  let pmax =
+    Array.fold_left
+      (fun m (l : Routing.Probe.link_probe) ->
+        if Float.is_finite l.link_power then Float.max m l.link_power else m)
+      0. p.grid
+  in
+  let cell u v =
+    let la = p.grid.(Noc.Mesh.link_id mesh (Noc.Mesh.link ~src:u ~dst:v)) in
+    let lb = p.grid.(Noc.Mesh.link_id mesh (Noc.Mesh.link ~src:v ~dst:u)) in
+    if la.overloaded || lb.overloaded then '!'
+    else
+      let w = Float.max la.link_power lb.link_power in
+      if w <= 0. || pmax <= 0. then '.'
+      else
+        let tenth = int_of_float (ceil (9. *. w /. pmax)) in
+        Char.chr (Char.code '0' + max 1 (min 9 tenth))
+  in
+  chip_map mesh cell
 
 let write_csv ~dir (r : Runner.result) =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;

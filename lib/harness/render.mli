@@ -19,3 +19,12 @@ val heatmap : ?capacity:float -> Noc.Load.t -> string
     digit [1..9] (tenths of [capacity], default 3500), [.] when idle and
     [!] when overloaded. Useful to eyeball where a routing concentrates
     traffic. *)
+
+val power_heatmap : Routing.Probe.t -> string
+(** Same chip frame keyed on the probe's per-link power: [!] where either
+    direction is overloaded (infinite power), [.] where both are idle,
+    otherwise digits [1..9] scaling the busier direction's link power
+    relative to the hottest finite link on the chip. Where the load
+    heatmap shows traffic, this shows where the watts go — leakage plus
+    level-dependent dynamic power, so two equally-loaded links can render
+    differently under a stepped model. *)

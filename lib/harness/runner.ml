@@ -276,9 +276,128 @@ let checkpoint_of_stats (name, s) =
     counters = s.counters;
   }
 
+(* What the audit selector needs to know about one finished trial, read
+   straight off the trial-ordered result array. *)
+let audit_verdict = function
+  | Error _ -> { Audit.best_power = None; errored = true; shed = false }
+  | Ok t ->
+      let best_power =
+        match List.assoc_opt "BEST" t.contribs with
+        | Some (Feasible { power; _ }) -> Some power
+        | _ -> None
+      in
+      let errored =
+        List.exists
+          (fun (_, c) -> match c with Errored _ -> true | _ -> false)
+          t.contribs
+      in
+      let shed =
+        List.exists
+          (fun (_, w) -> w.Routing.Metrics.recover_sheds > 0)
+          t.work
+      in
+      { Audit.best_power; errored; shed }
+
+(* Re-run one selected trial on the calling domain to capture its audit
+   record: the rng replay is exact ([trial_rng] is keyed identically to
+   [run_trial]'s), the engines' annotation stashes are drained around
+   each heuristic, and the best solution is probed. Selection reads the
+   trial-ordered result array and capture is single-domain, so the
+   artifact is byte-identical whatever [MANROUTE_JOBS] was. *)
+let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
+  Telemetry.span ~cat:"audit" ~args:[ ("trial", string_of_int t) ] "audit"
+  @@ fun () ->
+  let rng_x = if figure.Figure.paired then 0. else x in
+  let rng = trial_rng ~figure_id:figure.Figure.id ~x:rng_x ~seed ~trial:t in
+  let base ~cells ~best ~probe =
+    {
+      Audit.figure_id = figure.Figure.id;
+      seed;
+      trials;
+      x;
+      trial = t;
+      kinds;
+      cells;
+      best;
+      probe;
+    }
+  in
+  match
+    try
+      let comms = figure.Figure.generate rng x in
+      let fault = Option.map (fun f -> f rng x) figure.Figure.scenario in
+      Ok (comms, fault)
+    with e -> Error (Printexc.to_string e)
+  with
+  | Error msg ->
+      base
+        ~cells:
+          (List.map
+             (fun (h : Routing.Heuristic.t) ->
+               {
+                 Audit.cell_name = h.Routing.Heuristic.name;
+                 outcome = Error msg;
+                 pathfinder = None;
+                 recover = None;
+               })
+             heuristics)
+        ~best:None ~probe:None
+  | Ok (comms, fault) ->
+      let attempts =
+        List.map
+          (fun (h : Routing.Heuristic.t) ->
+            ignore (Optim.Pathfinder.take_annotation ());
+            ignore (Optim.Recover.take_reports ());
+            match
+              let solution = h.run ?fault model Figure.mesh comms in
+              {
+                Routing.Best.heuristic = h;
+                solution;
+                report = Routing.Evaluate.solution ?fault model solution;
+              }
+            with
+            | outcome ->
+                ( h.Routing.Heuristic.name,
+                  Ok outcome,
+                  Optim.Pathfinder.take_annotation (),
+                  Optim.Recover.take_reports () )
+            | exception e ->
+                (h.Routing.Heuristic.name, Error (Printexc.to_string e), None, None))
+          heuristics
+      in
+      let outcomes =
+        List.filter_map (fun (_, r, _, _) -> Result.to_option r) attempts
+      in
+      let best = Routing.Best.best_of outcomes in
+      let cells =
+        List.map
+          (fun (name, r, pf, rec_) ->
+            {
+              Audit.cell_name = name;
+              outcome =
+                Result.map
+                  (fun (o : Routing.Best.outcome) -> o.Routing.Best.report)
+                  r;
+              pathfinder = pf;
+              recover = rec_;
+            })
+          attempts
+      in
+      base ~cells
+        ~best:
+          (Option.map
+             (fun (o : Routing.Best.outcome) ->
+               o.Routing.Best.heuristic.Routing.Heuristic.name)
+             best)
+        ~probe:
+          (Option.map
+             (fun (o : Routing.Best.outcome) ->
+               Routing.Probe.solution ?fault model o.Routing.Best.solution)
+             best)
+
 let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
     ?(heuristics = Routing.Heuristic.all) ?jobs ?summary ?checkpoint ?progress
-    figure =
+    ?audit figure =
   let trials = match trials with Some t -> t | None -> default_trials () in
   (* Figures may parameterize their heuristic set by x ({!Figure.figs});
      the cell names must not change along the sweep, so the first row's
@@ -288,6 +407,9 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
   in
   let key =
     { Checkpoint.figure_id = figure.Figure.id; seed; trials }
+  in
+  let audit_sink =
+    Option.map (fun dir -> Audit.create ~dir ~figure_id:figure.Figure.id) audit
   in
   let resumed =
     match checkpoint with
@@ -375,6 +497,16 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
                     | Ok { obs = None; _ } | Error _ -> ())
                   results
             | None -> ());
+            (match audit_sink with
+            | None -> ()
+            | Some sink ->
+                let verdicts = Array.map audit_verdict results in
+                List.iter
+                  (fun (t, kinds) ->
+                    Audit.write sink
+                      (audit_capture ~model ~heuristics ~figure ~x ~seed
+                         ~trials ~kinds t))
+                  (Audit.select verdicts));
             let cells =
               List.map
                 (fun (name, c) -> (name, stats_of_cell ~trials c))
@@ -391,4 +523,5 @@ let run ?trials ?(seed = 1) ?(model = Power.Model.kim_horowitz)
             { x; cells })
       figure.Figure.xs
   in
+  Option.iter Audit.close audit_sink;
   { figure; trials; seed; rows }

@@ -69,6 +69,7 @@ val run :
   ?summary:Summary.acc ->
   ?checkpoint:string ->
   ?progress:Telemetry.Progress.t ->
+  ?audit:string ->
   Figure.t ->
   result
 (** Defaults: {!default_trials} trials, seed 1, the paper's
@@ -101,6 +102,15 @@ val run :
     this exact (figure, seed, trials) key are reused instead of recomputed
     — bit-identical to a fresh run thanks to hex-float round-tripping.
     Resumed rows are not folded into [summary].
+
+    [audit] names a directory: after each computed row, the worst-power
+    trial plus every errored and every traffic-shedding trial are
+    re-captured deterministically on the calling domain and appended as
+    {!Audit} records to [DIR/<figure>-audit.jsonl] (truncated at campaign
+    start). Selection reads the trial-ordered result array and the
+    re-capture replays {!trial_rng}, so the artifact is byte-identical
+    for every value of [jobs]. Checkpoint-resumed rows carry no per-trial
+    data and are not re-audited.
 
     [progress] hooks a live display: each completed trial ticks it from
     the worker that ran it, each completed row bumps its row count, each

@@ -193,13 +193,58 @@ let balanced_json text =
     text;
   !ok && !depth = 0 && not !in_string
 
+(* A trimmed excerpt of the offending line, so a validation failure in a
+   multi-megabyte trace can be localized without opening it. *)
+let snippet line =
+  let line = String.trim line in
+  if String.length line <= 60 then line else String.sub line 0 57 ^ "..."
+
+(* Localize what [balanced_json] only detects globally: the first line
+   that closes more than it opens or leaves a string literal open (event
+   lines never span lines), else the imbalance is an unclosed brace at
+   the end of the file — the torn-write case. *)
+let unbalanced_detail text =
+  let depth = ref 0 and in_string = ref false and escaped = ref false in
+  let result = ref None in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      if !result = None then begin
+        String.iter
+          (fun c ->
+            if !in_string then
+              if !escaped then escaped := false
+              else if c = '\\' then escaped := true
+              else if c = '"' then in_string := false
+              else ()
+            else
+              match c with
+              | '"' -> in_string := true
+              | '{' | '[' -> incr depth
+              | '}' | ']' ->
+                  decr depth;
+                  if !depth < 0 && !result = None then
+                    result := Some (i + 1, "closes more than it opens", line)
+              | _ -> ())
+          line;
+        if !in_string && !result = None then
+          result := Some (i + 1, "unterminated string", line)
+      end)
+    lines;
+  match !result with
+  | Some r -> r
+  | None -> (List.length lines, "braces or brackets left open", "")
+
 let validate_file path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
   let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
-  if not (balanced_json text) then fail "unbalanced braces, brackets or quotes"
+  if not (balanced_json text) then
+    let line, why, at = unbalanced_detail text in
+    fail "line %d: %s%s" line why
+      (if at = "" then "" else ": " ^ snippet at)
   else
     match String.split_on_char '\n' (String.trim text) with
     | "[" :: rest when List.rev rest <> [] && List.hd (List.rev rest) = "]" ->
@@ -213,9 +258,9 @@ let validate_file path =
           in
           if String.length line < 2 || line.[0] <> '{'
              || line.[String.length line - 1] <> '}'
-          then fail "line %d: not an event object" (idx + 2)
+          then fail "line %d: not an event object: %s" (idx + 2) (snippet line)
           else if find_field line "name" = None then
-            fail "line %d: missing \"name\"" (idx + 2)
+            fail "line %d: missing \"name\": %s" (idx + 2) (snippet line)
           else
             match
               ( find_field line "ph",
@@ -223,11 +268,14 @@ let validate_file path =
                 float_field line "dur",
                 float_field line "tid" )
             with
-            | None, _, _, _ -> fail "line %d: missing \"ph\"" (idx + 2)
+            | None, _, _, _ ->
+                fail "line %d: missing \"ph\": %s" (idx + 2) (snippet line)
             | _, None, _, _ | _, _, None, _ | _, _, _, None ->
-                fail "line %d: missing ts/dur/tid" (idx + 2)
+                fail "line %d: missing ts/dur/tid: %s" (idx + 2) (snippet line)
             | Some _, Some ts, Some dur, Some tid ->
-                if dur < 0. then fail "line %d: negative duration" (idx + 2)
+                if dur < 0. then
+                  fail "line %d: negative duration: %s" (idx + 2)
+                    (snippet line)
                 else begin
                   (* Spans of one thread, met in ts order, must nest: pop
                      the spans that ended before this one starts, then this
@@ -250,8 +298,8 @@ let validate_file path =
                   pop ();
                   match !stack with
                   | top :: _ when ts +. dur > top ->
-                      fail "line %d: span overlaps its enclosing span"
-                        (idx + 2)
+                      fail "line %d: span overlaps its enclosing span: %s"
+                        (idx + 2) (snippet line)
                   | _ ->
                       stack := (ts +. dur) :: !stack;
                       Ok ()
@@ -266,7 +314,9 @@ let validate_file path =
                   let ts =
                     match float_field line "ts" with Some t -> t | None -> 0.
                   in
-                  if ts < last_ts then fail "line %d: events not sorted" (idx + 2)
+                  if ts < last_ts then
+                    fail "line %d: events not sorted: %s" (idx + 2)
+                      (snippet line)
                   else go (idx + 1) ts tl)
         in
         go 0 neg_infinity body

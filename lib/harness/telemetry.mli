@@ -63,7 +63,30 @@ val validate_file : string -> (int, string) result
     per line, braces and brackets balanced, every event carrying
     [name]/[ph:"X"]/[ts]/[dur]/[tid]) and that each thread's spans nest
     properly (no partial overlap — every span is balanced within its
-    enclosing one). [Ok n] is the number of events. *)
+    enclosing one). [Ok n] is the number of events; an [Error] names the
+    line number and quotes a snippet of the first offending event. *)
+
+(** {1 Zero-dependency JSON helpers}
+
+    Shared with {!Audit} and the artifact checkers — the project carries
+    no JSON library, so the writers emit a fixed shape and the checkers
+    verify exactly that shape. *)
+
+val escape_json : Buffer.t -> string -> unit
+(** Append the JSON string-escaped form (quotes, backslashes, control
+    characters; no surrounding quotes). *)
+
+val balanced_json : string -> bool
+(** Braces/brackets balance outside string literals; also rejects a
+    truncated trailing string. *)
+
+val find_field : string -> string -> int option
+(** [find_field line key] is the position just after a literal
+    ["key":] in [line], for text whose strings never embed an unescaped
+    quote (true of everything the harness writes). *)
+
+val float_field : string -> string -> float option
+(** The number following [find_field], when it parses. *)
 
 (** {1 CLI / environment wiring} *)
 

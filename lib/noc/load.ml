@@ -69,6 +69,11 @@ let overload t ~capacity id =
 
 let overload_link t ~capacity l = overload t ~capacity (Mesh.link_id t.mesh l)
 
+let effective_capacity t ~capacity id = factor t id *. capacity
+
+let effective_capacity_link t ~capacity l =
+  effective_capacity t ~capacity (Mesh.link_id t.mesh l)
+
 let overloaded_effective t ~capacity =
   let over = ref [] in
   for id = Array.length t.loads - 1 downto 0 do

@@ -87,6 +87,14 @@ val overload : t -> capacity:float -> int -> float
 
 val overload_link : t -> capacity:float -> Mesh.link -> float
 
+val effective_capacity : t -> capacity:float -> int -> float
+(** Bandwidth the link can actually carry under the carried fault:
+    [factor *. capacity]. [capacity] itself on a healthy link, [0.] on a
+    dead one — the per-link ceiling that {!get_effective} is measured
+    against (after rescaling to the healthy scale). *)
+
+val effective_capacity_link : t -> capacity:float -> Mesh.link -> float
+
 val overloaded_effective : t -> capacity:float -> (int * float) list
 (** Links whose {e effective} load ({!get_effective}) strictly exceeds
     [capacity], with those effective loads, by decreasing load (ties by

@@ -414,7 +414,25 @@ let baseline ?fault model mesh comms =
            (fun (c, best) (c', o) -> if c' < c then (c', o) else (c, best))
            (List.hd scored) (List.tl scored))
 
+type annotation = { a_iterations : int; a_rips : int; a_kept : bool }
+
+(* Per-domain stash of the last [engine] run, for the observability
+   layer: a registry heuristic returns only a solution, so the audit
+   capture and [manroute inspect] read the negotiation stats here right
+   after running it. Domain-local, hence race-free under the campaign
+   pool; [take_annotation] clears, so a stale value can never be
+   mistaken for the following heuristic's. *)
+let annotation_key : annotation option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let take_annotation () =
+  let slot = Domain.DLS.get annotation_key in
+  let v = !slot in
+  slot := None;
+  v
+
 let engine ?iterations ?fault model mesh comms =
+  (Domain.DLS.get annotation_key) := None;
   if comms = [] then Routing.Solution.make mesh []
   else begin
     let pf = negotiate ?iterations ?fault model mesh comms in
@@ -436,6 +454,9 @@ let engine ?iterations ?fault model mesh comms =
           penalized_of ?fault model pf.solution
           <= penalized_of ?fault model base.Routing.Best.solution
     in
+    (Domain.DLS.get annotation_key) :=
+      Some
+        { a_iterations = pf.iterations; a_rips = pf.rips; a_kept = keep_pf };
     if keep_pf then pf.solution else base.Routing.Best.solution
   end
 

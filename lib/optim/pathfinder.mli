@@ -92,6 +92,22 @@ val engine :
     heuristic ({!Routing.Best}): feasible beats infeasible, then lower
     total power, then lower penalized power when both fail. *)
 
+type annotation = {
+  a_iterations : int;  (** Negotiation sweeps the last {!engine} ran. *)
+  a_rips : int;  (** Communications it ripped up and rerouted. *)
+  a_kept : bool;
+      (** Whether the negotiated solution beat the single-path baseline
+          (when [false] the engine returned the baseline). *)
+}
+
+val take_annotation : unit -> annotation option
+(** Stats of the last {!engine} run {e on this domain}, cleared by the
+    read (and at the start of every [engine] call), so a caller that
+    runs a registry heuristic and then takes the annotation can never
+    observe a stale one. [None] when the last run on this domain was not
+    an [engine] run — the observability seam used by [manroute inspect]
+    and the campaign audit capture. *)
+
 val heuristic :
   ?name:string -> ?iterations:int -> unit -> Routing.Heuristic.t
 (** Registry entry (default name ["PF"]) wrapping {!engine} via

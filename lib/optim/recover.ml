@@ -378,8 +378,24 @@ let baseline ?fault model mesh comms =
   in
   o.Routing.Best.solution
 
+(* Per-domain stash of the last [engine] run's per-event reports, for
+   the observability layer: the registry heuristic returns only the
+   surviving solution, so the audit capture and [manroute inspect] read
+   the rung/shed timeline here right after running it. Domain-local
+   (race-free under the campaign pool); [take_reports] clears, so a
+   stale timeline can never be mistaken for the following heuristic's. *)
+let reports_key : report list option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let take_reports () =
+  let slot = Domain.DLS.get reports_key in
+  let v = !slot in
+  slot := None;
+  v
+
 let engine ?(events = default_events) ?fault model mesh comms =
   if events < 0 then invalid_arg "Recover.engine: events < 0";
+  (Domain.DLS.get reports_key) := None;
   if comms = [] then Routing.Solution.make mesh []
   else begin
     let base = baseline ?fault model mesh comms in
@@ -389,7 +405,8 @@ let engine ?(events = default_events) ?fault model mesh comms =
         ~choose:(fun b -> Traffic.Rng.int rng b)
         ~events mesh
     in
-    let t, _ = run ?fault model base schedule in
+    let t, reports = run ?fault model base schedule in
+    (Domain.DLS.get reports_key) := Some reports;
     solution t
   end
 

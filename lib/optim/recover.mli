@@ -123,6 +123,14 @@ val engine :
     final live solution.
     @raise Invalid_argument on negative [events]. *)
 
+val take_reports : unit -> report list option
+(** Per-event reports of the last {!engine} run {e on this domain},
+    cleared by the read (and at the start of every [engine] call), so a
+    caller that runs the registry heuristic and then takes the timeline
+    can never observe a stale one. [None] when the last run on this
+    domain was not an [engine] run — the observability seam used by
+    [manroute inspect] and the campaign audit capture. *)
+
 val heuristic : ?name:string -> ?events:int -> unit -> Routing.Heuristic.t
 (** Registry entry (default name ["REC"]) wrapping {!engine} via
     {!Routing.Heuristic.of_fault_aware}, for the harness figures and the

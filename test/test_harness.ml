@@ -469,19 +469,39 @@ let test_checkpoint_corrupt_lines_tolerated () =
     }
   in
   Harness.Checkpoint.append ~path key ~x:2. [ cell ];
+  (* Foreign lines (other format, other version) and a torn final line
+     are tolerated... *)
   let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
   output_string oc "not a row at all\n";
-  output_string oc "row\tv1\ttiny\t1\t2\tnot-a-float\t1\tXY\n";
   output_string oc "row\tv0\ttiny\t1\t2\t0x1p+1\t0\n";
+  output_string oc "row\tv1\ttiny\t1\t2\t0x1p+";
   close_out oc;
-  match Harness.Checkpoint.load ~path key with
+  (match Harness.Checkpoint.load ~path key with
   | [ (x, [ c ]) ] ->
       check_float "x round-trips" 2. x;
-      check_bool "cell round-trips, message included" true (c = cell);
-      Sys.remove path
+      check_bool "cell round-trips, message included" true (c = cell)
   | rows ->
       Alcotest.failf "expected exactly the one good row, got %d"
-        (List.length rows)
+        (List.length rows));
+  (* ...but a key-matching row that fails to parse anywhere before the
+     final line is real corruption: the typed error must localize it by
+     sidecar path and line number instead of silently recomputing. *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc "\nrow\tv1\ttiny\t1\t2\tnot-a-float\t1\tXY\n";
+  output_string oc "trailing junk\n";
+  close_out oc;
+  (match Harness.Checkpoint.load ~path key with
+  | _ -> Alcotest.fail "expected Corrupt"
+  | exception Harness.Checkpoint.Corrupt { path = p; line; reason = _ } ->
+      check_bool "corrupt path surfaced" true (p = path);
+      check_int "corrupt line surfaced" 5 line;
+      check_bool "printer names path and line" true
+        (let m =
+           Printexc.to_string
+             (Harness.Checkpoint.Corrupt { path = p; line; reason = "r" })
+         in
+         contains_substring m path && contains_substring m "line 5"));
+  Sys.remove path
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry: env fallbacks, spans + trace files, counters, progress *)
@@ -673,13 +693,15 @@ let test_checkpoint_newer_version_fails_fast () =
   let key = { Harness.Checkpoint.figure_id = "tiny"; seed = 1; trials = 2 } in
   (match Harness.Checkpoint.load ~path key with
   | _ -> Alcotest.fail "expected Newer_version"
-  | exception Harness.Checkpoint.Newer_version { fields_per_cell; path = p } ->
+  | exception Harness.Checkpoint.Newer_version { fields_per_cell; path = p; line }
+    ->
       check_int "cell arity surfaced" 20 fields_per_cell;
       check_bool "offending path surfaced" true (p = path);
+      check_int "offending line surfaced" 1 line;
       check_bool "printer names the remedy" true
         (contains_substring
            (Printexc.to_string
-              (Harness.Checkpoint.Newer_version { path = p; fields_per_cell }))
+              (Harness.Checkpoint.Newer_version { path = p; line; fields_per_cell }))
            "newer manroute version"));
   (* The same row under a different campaign key is filtered out before
      the arity check: foreign sidecars never block an unrelated resume. *)
