@@ -13,7 +13,8 @@
    MANROUTE_BENCH=delta runs only the E21 delta-engine micro-benchmark;
    MANROUTE_BENCH=smp runs only the E22 s-MP sweep;
    MANROUTE_BENCH=pf runs only the E23 PathFinder sweep;
-   MANROUTE_BENCH=recover runs only the E24 recovery sweep. *)
+   MANROUTE_BENCH=recover runs only the E24 recovery sweep;
+   MANROUTE_BENCH=sim runs only the E26 campaign-simulator benchmark. *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -1101,6 +1102,104 @@ let delta_bench () =
        ])
 
 (* ------------------------------------------------------------------ *)
+(* E26: campaign-grade simulator — early exit + arena reuse *)
+
+let sim_bench () =
+  section "E26 | campaign-grade simulator: early exit + arena reuse";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let trials = 4 in
+  let cycles = 6000 in
+  let tolerance = 0.1 in
+  (* The figpareto population: per trial, every feasible heuristic
+     solution of a 12-communication mixed workload on the 8x8 mesh. *)
+  let solutions =
+    List.concat
+      (List.init trials (fun trial ->
+           let rng =
+             Traffic.Rng.of_key "bench-sim" [ 262L; Int64.of_int trial ]
+           in
+           let comms =
+             Traffic.Workload.uniform rng mesh ~n:12
+               ~weight:Traffic.Workload.mixed
+           in
+           List.filter_map
+             (fun (o : Routing.Best.outcome) ->
+               if o.report.Routing.Evaluate.feasible then Some o.solution
+               else None)
+             (Routing.Best.run_all model mesh comms)))
+  in
+  Format.printf "  %d feasible solutions, %d-cycle budget, tolerance %g@."
+    (List.length solutions) cycles tolerance;
+  (* Naive: a fresh network per solution, full cycle budget. Optimized:
+     one arena for the whole batch plus the convergence detector. *)
+  let naive () =
+    List.iter
+      (fun s ->
+        let net = Sim.Network.create model s in
+        ignore (Sim.Network.run net ~cycles))
+      solutions
+  in
+  let optimized () =
+    let arena = Sim.Network.Arena.create () in
+    ignore (Sim.Batch.run ~arena ~tolerance ~cycles model solutions)
+  in
+  (* Sanity: arena reuse + early exit stay deterministic across runs. *)
+  let reports = Sim.Batch.run ~tolerance ~cycles model solutions in
+  let reports2 = Sim.Batch.run ~tolerance ~cycles model solutions in
+  List.iter2
+    (fun (a : Sim.Network.report) (b : Sim.Network.report) ->
+      if Int64.bits_of_float a.latency_p95 <> Int64.bits_of_float b.latency_p95
+      then failwith "sim bench: batched simulation is not deterministic")
+    reports reports2;
+  let early =
+    List.length (List.filter (fun r -> r.Sim.Network.early_exit) reports)
+  in
+  let measured =
+    List.fold_left (fun acc r -> acc + r.Sim.Network.cycles) 0 reports
+  in
+  let repeats = 3 in
+  let timed f =
+    let t0 = now_s () in
+    f ();
+    now_s () -. t0
+  in
+  let med f = median (List.init repeats (fun _ -> timed f)) in
+  instrumented ~bench:"E26"
+    ~config:
+      [
+        ("mesh", J.Str "8x8");
+        ("seed", J.Int 262);
+        ("trials", J.Int trials);
+        ("n", J.Int 12);
+        ("cycles", J.Int cycles);
+        ("tolerance", J.Float tolerance);
+        ("solutions", J.Int (List.length solutions));
+        ("repeats", J.Int repeats);
+      ]
+  @@ fun push ->
+  let t_naive = med naive in
+  let t_opt = med optimized in
+  let speedup = t_naive /. t_opt in
+  Format.printf "  naive (fresh network, full budget) : %8.3f s@." t_naive;
+  Format.printf "  optimized (arena + early exit)     : %8.3f s@." t_opt;
+  Format.printf "  speedup: %.1fx (target: >= 3x)@." speedup;
+  Format.printf "  early exits: %d/%d, measured cycles %d of %d budgeted@."
+    early (List.length reports) measured (cycles * List.length reports);
+  push
+    (J.Obj
+       [
+         ("name", J.Str "batched_campaign_sim");
+         ("naive_s", J.Float t_naive);
+         ("optimized_s", J.Float t_opt);
+         ("speedup", J.Float speedup);
+         ("early_exits", J.Int early);
+         ("simulated", J.Int (List.length reports));
+         ("measured_cycles", J.Int measured);
+         ("budget_cycles", J.Int (cycles * List.length reports));
+       ])
+
+(* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-benchmarks *)
 
 let bechamel_part () =
@@ -1203,6 +1302,11 @@ let () =
     recover_sweep ();
     exit 0
   end;
+  (* MANROUTE_BENCH=sim: run only the E26 campaign-simulator benchmark. *)
+  if Sys.getenv_opt "MANROUTE_BENCH" = Some "sim" then begin
+    sim_bench ();
+    exit 0
+  end;
   Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
     (Harness.Runner.default_trials ())
     (Harness.Pool.default_jobs ());
@@ -1233,5 +1337,6 @@ let () =
   mesh_scaling ();
   weight_band_ablation ();
   delta_bench ();
+  sim_bench ();
   if Sys.getenv_opt "MANROUTE_SKIP_BECHAMEL" <> Some "1" then bechamel_part ();
   Format.printf "@.done.@."

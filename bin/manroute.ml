@@ -410,6 +410,201 @@ let figure_cmd =
     (Cmd.info "figure" ~doc:"Reproduce a simulation figure of the paper")
     term
 
+(* ---------------- pareto ---------------- *)
+
+let pareto_cmd =
+  let trials_t =
+    Arg.(
+      value & opt pos_int_conv 8
+      & info [ "trials" ] ~doc:"Random workloads to explore (default 8).")
+  in
+  let jobs_t =
+    Arg.(
+      value
+      & opt (some pos_int_conv) None
+      & info [ "j"; "jobs" ]
+          ~doc:
+            "Worker domains (default: MANROUTE_JOBS or the core count). \
+             Output is byte-identical for any value.")
+  in
+  let cycles_t =
+    Arg.(
+      value
+      & opt pos_int_conv 2000
+      & info [ "sim-cycles" ] ~docv:"N"
+          ~doc:"Measured-cycle budget per simulation (default 2000).")
+  in
+  let tolerance_t =
+    Arg.(
+      value & opt float 0.08
+      & info [ "sim-tolerance" ] ~docv:"T"
+          ~doc:
+            "Early-exit tolerance for the warmup-convergence detector \
+             (default 0.08); 0 disables early exit and burns the full \
+             budget.")
+  in
+  let kills_t =
+    Arg.(
+      value
+      & opt nonneg_int_conv 2
+      & info [ "kills" ] ~docv:"N"
+          ~doc:
+            "Link kills for the fault-degradation slope axis (default 2); \
+             0 pins the slope objective to 0.")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"PATH"
+          ~doc:
+            "Also write every measured point as CSV \
+             (trial,name,power,p50,p95,slope,front) to PATH, floats as \
+             %.17g (bit round-trips).")
+  in
+  (* The explored design points: the paper's six single-path heuristics
+     plus parameterized engine points (path budget s, negotiation cap,
+     survived events) and continuous-frequency policy variants — the
+     latter route under [kim_horowitz_continuous] but are scored under
+     the session model, so the axes stay comparable. *)
+  let design_points model =
+    let continuous (h : Routing.Heuristic.t) =
+      {
+        h with
+        Routing.Heuristic.name = h.Routing.Heuristic.name ^ "/C";
+        run =
+          (fun ?fault _model mesh comms ->
+            h.Routing.Heuristic.run ?fault Power.Model.kim_horowitz_continuous
+              mesh comms);
+      }
+    in
+    let variants =
+      if model == Power.Model.kim_horowitz_continuous then []
+      else
+        List.filter_map
+          (fun (h : Routing.Heuristic.t) ->
+            if h.Routing.Heuristic.name = "XYI" || h.Routing.Heuristic.name = "PR"
+            then Some (continuous h)
+            else None)
+          Routing.Heuristic.all
+    in
+    Routing.Heuristic.all @ variants
+    @ [
+        Optim.Smp.heuristic ~s:2 ();
+        Optim.Smp.heuristic ~s:4 ();
+        Optim.Pathfinder.heuristic ~iterations:8 ();
+        Optim.Recover.heuristic ~events:4 ();
+      ]
+  in
+  let run mesh model seed n weights trials jobs cycles tolerance kills csv =
+    if not (Float.is_finite tolerance) || tolerance < 0. then begin
+      Printf.eprintf "error: --sim-tolerance must be a non-negative float\n";
+      exit 1
+    end;
+    let lo, hi = weights in
+    let weight = Traffic.Workload.weight ~lo ~hi in
+    let points = design_points model in
+    let budget =
+      {
+        Optim.Pareto.cycles;
+        tolerance = (if tolerance = 0. then None else Some tolerance);
+        warmup = None;
+      }
+    in
+    Format.printf
+      "pareto exploration: %d trials, %d comms on %a, budget %d cycles%s, %d \
+       kills, %d design points@."
+      trials n Noc.Mesh.pp mesh cycles
+      (if tolerance = 0. then "" else Printf.sprintf " (tolerance %g)" tolerance)
+      kills (List.length points);
+    (* One trial = one workload through every design point. Each trial is
+       keyed independently ([of_key]), evaluated on whatever worker domain
+       picks it up (the simulator arena is per-domain), and folded in
+       index order — output is byte-identical for every --jobs value. *)
+    let eval_trial t =
+      let rng =
+        Traffic.Rng.of_key "pareto" [ Int64.of_int seed; Int64.of_int t ]
+      in
+      let comms = Traffic.Workload.uniform rng mesh ~n ~weight in
+      let fault =
+        if kills = 0 then None
+        else
+          Some
+            (Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng) ~kills mesh)
+      in
+      let arena = Sim.Network.Arena.domain () in
+      List.filter_map
+        (fun (h : Routing.Heuristic.t) ->
+          match
+            let solution = h.Routing.Heuristic.run model mesh comms in
+            let report = Routing.Evaluate.solution model solution in
+            Optim.Pareto.measure ~arena ~budget ?fault ~kills model ~report
+              solution
+          with
+          | Some obj -> Some { Optim.Pareto.pt_name = h.name; pt_obj = obj }
+          | None -> None
+          | exception _ -> None)
+        points
+    in
+    let results = Harness.Pool.map_result ?jobs trials eval_trial in
+    let csv_buf = Buffer.create 1024 in
+    Buffer.add_string csv_buf "trial,name,power,p50,p95,slope,front\n";
+    let all_points = ref [] in
+    Array.iteri
+      (fun t result ->
+        match result with
+        | Error msg -> Format.printf "trial %d: error: %s@." t msg
+        | Ok pts ->
+            let front = Optim.Pareto.front pts in
+            let on_front (p : Optim.Pareto.point) =
+              List.exists
+                (fun (q : Optim.Pareto.point) -> q.pt_name = p.pt_name)
+                front
+            in
+            all_points := List.rev_append pts !all_points;
+            Format.printf "trial %d (%d feasible points):@." t
+              (List.length pts);
+            List.iter
+              (fun (p : Optim.Pareto.point) ->
+                Format.printf "  %-6s %a%s@." p.pt_name
+                  Optim.Pareto.pp_objectives p.pt_obj
+                  (if on_front p then "  [front]" else "");
+                Buffer.add_string csv_buf
+                  (Printf.sprintf "%d,%s,%.17g,%.17g,%.17g,%.17g,%d\n" t
+                     p.pt_name p.pt_obj.Optim.Pareto.power p.pt_obj.p50
+                     p.pt_obj.p95 p.pt_obj.slope
+                     (if on_front p then 1 else 0)))
+              pts)
+      results;
+    let merged = Optim.Pareto.front (List.rev !all_points) in
+    Format.printf "@.merged pareto front (%d non-dominated points over %d \
+                   trials):@."
+      (List.length merged) trials;
+    List.iter
+      (fun p -> Format.printf "  %a@." Optim.Pareto.pp_point p)
+      merged;
+    match csv with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Buffer.contents csv_buf);
+        close_out oc;
+        Format.printf "csv: %s@." path
+  in
+  let term =
+    Term.(
+      const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ trials_t
+      $ jobs_t $ cycles_t $ tolerance_t $ kills_t $ csv_t)
+  in
+  Cmd.v
+    (Cmd.info "pareto"
+       ~doc:
+         "Explore the power x latency x resilience design space: every \
+          registered heuristic point scored on model power, simulated \
+          p50/p95 latency and the fault-degradation slope, with per-trial \
+          and merged non-dominated fronts")
+    term
+
 (* ---------------- inspect ---------------- *)
 
 let inspect_cmd =
@@ -943,6 +1138,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            route_cmd; generate_cmd; figure_cmd; inspect_cmd; recover_cmd;
-            pattern_cmd; theory_cmd; optimal_cmd;
+            route_cmd; generate_cmd; figure_cmd; pareto_cmd; inspect_cmd;
+            recover_cmd; pattern_cmd; theory_cmd; optimal_cmd;
           ]))

@@ -216,6 +216,7 @@ type cell = {
   outcome : (Routing.Evaluate.report, string) result;
   pathfinder : Optim.Pathfinder.annotation option;
   recover : Optim.Recover.report list option;
+  objectives : Optim.Pareto.objectives option;
 }
 
 type record = {
@@ -227,8 +228,18 @@ type record = {
   kinds : kind list;
   cells : cell list;
   best : string option;
+  front : string list option;
   probe : Routing.Probe.t option;
 }
+
+let json_of_objectives (o : Optim.Pareto.objectives) =
+  Obj
+    [
+      ("power", Float o.power);
+      ("p50", Float o.p50);
+      ("p95", Float o.p95);
+      ("slope", Float o.slope);
+    ]
 
 let json_of_cell c =
   Obj
@@ -249,9 +260,13 @@ let json_of_cell c =
                 ] );
           ]
       | None -> [])
+    @ (match c.recover with
+      | Some reports ->
+          [ ("recover", List (List.map json_of_recover reports)) ]
+      | None -> [])
     @
-    match c.recover with
-    | Some reports -> [ ("recover", List (List.map json_of_recover reports)) ]
+    match c.objectives with
+    | Some o -> [ ("objectives", json_of_objectives o) ]
     | None -> [])
 
 let record_line r =
@@ -267,6 +282,9 @@ let record_line r =
           ("kinds", List (List.map (fun k -> Str (kind_label k)) r.kinds));
         ]
        @ (match r.best with Some b -> [ ("best", Str b) ] | None -> [])
+       @ (match r.front with
+         | Some names -> [ ("front", List (List.map (fun n -> Str n) names)) ]
+         | None -> [])
        @ [ ("cells", List (List.map json_of_cell r.cells)) ]
        @
        match r.probe with

@@ -72,6 +72,10 @@ type cell = {
   recover : Optim.Recover.report list option;
       (** Per-event recovery reports, when this cell ran the recovery
           engine. *)
+  objectives : Optim.Pareto.objectives option;
+      (** The cell's Pareto point (power, simulated p50/p95, slope), when
+          the trial belonged to a Pareto figure and the cell was
+          feasible. *)
 }
 (** One heuristic's outcome within the audited trial. *)
 
@@ -84,6 +88,9 @@ type record = {
   kinds : kind list;
   cells : cell list;
   best : string option;  (** Winning heuristic name, when any succeeded. *)
+  front : string list option;
+      (** The trial's non-dominated front (cell names in cell order), when
+          the trial belonged to a Pareto figure. *)
   probe : Routing.Probe.t option;
       (** Probe of the best solution, when any heuristic succeeded. *)
 }

@@ -10,13 +10,18 @@ type cell = {
   mean_detour_hops : float;
   error_example : string option;
   counters : Routing.Metrics.counters;
+  mean_p50 : float option;
+  mean_p95 : float option;
+  mean_slope : float option;
+  front_ratio : float option;
 }
 
 let magic = "row"
 let version = "v1"
 
-(* Name + 7 stat fields + 11 counter ints: what [line] writes today. *)
-let max_fields_per_cell = 19
+(* Name + 7 stat fields + 11 counter ints + 4 Pareto fields: what [line]
+   writes today. *)
+let max_fields_per_cell = 23
 
 (* Floats travel as "%h" hex literals: [float_of_string] round-trips them
    bit-exactly, which is what lets a resumed campaign reproduce the very
@@ -67,6 +72,10 @@ let line key ~x cells =
              string_of_int c.counters.Routing.Metrics.recover_events;
              string_of_int c.counters.Routing.Metrics.recover_sheds;
              string_of_int c.counters.Routing.Metrics.recover_rung_max;
+             opt_float_field c.mean_p50;
+             opt_float_field c.mean_p95;
+             opt_float_field c.mean_slope;
+             opt_float_field c.front_ratio;
            ]))
     cells;
   Buffer.contents buf
@@ -171,15 +180,18 @@ let () =
 let parse_cells ~path ~line n fields =
   (* Checkpoints written before the telemetry layer carry 8 fields per
      cell; the telemetry layer appended five counter ints (13), the
-     delta engine a sixth (14), the PathFinder engine two more (16) and
-     the recovery engine three more (19). Same magic, same version: the
-     arity is read off the total field count, so old resume files keep
-     loading — missing counters parse as zero. A row whose cells carry
-     {e more} fields than this build writes was made by a newer build:
-     silently misparsing (or silently dropping) it would quietly recompute
-     rows the user thinks are checkpointed, so that fails fast instead. *)
+     delta engine a sixth (14), the PathFinder engine two more (16), the
+     recovery engine three more (19) and the Pareto layer four optional
+     floats (23). Same magic, same version: the arity is read off the
+     total field count, so old resume files keep loading — missing
+     counters parse as zero and missing Pareto cells as absent. A row
+     whose cells carry {e more} fields than this build writes was made by
+     a newer build: silently misparsing (or silently dropping) it would
+     quietly recompute rows the user thinks are checkpointed, so that
+     fails fast instead. *)
   let arity =
     match List.length fields with
+    | len when n > 0 && len = n * 23 -> `Pareto4
     | len when n > 0 && len = n * 19 -> `Counters11
     | len when n > 0 && len = n * 16 -> `Counters8
     | len when n > 0 && len = n * 14 -> `Counters6
@@ -187,7 +199,7 @@ let parse_cells ~path ~line n fields =
     | len when len = n * 8 -> `NoCounters
     | len when n > 0 && len mod n = 0 && len / n > max_fields_per_cell ->
         raise (Newer_version { path; line; fields_per_cell = len / n })
-    | _ -> `Counters11 (* wrong shape either way; fail in the loop below *)
+    | _ -> `Pareto4 (* wrong shape either way; fail in the loop below *)
   in
   let rec go acc k = function
     | [] when k = 0 -> Some (List.rev acc)
@@ -210,12 +222,28 @@ let parse_cells ~path ~line n fields =
               | p :: d :: b :: ds :: fc :: de :: pi :: pr :: tl ->
                   (parse_counters ~de ~pi ~pr p d b ds fc, tl)
               | _ -> (None, tl))
-          | `Counters11 -> (
+          | `Counters11 | `Pareto4 -> (
               match tl with
               | p :: d :: b :: ds :: fc :: de :: pi :: pr :: re :: rs :: rr
                 :: tl ->
                   (parse_counters ~de ~pi ~pr ~re ~rs ~rr p d b ds fc, tl)
               | _ -> (None, tl))
+        in
+        let pareto, tl =
+          match arity with
+          | `Pareto4 -> (
+              match tl with
+              | p50 :: p95 :: sl :: fr :: tl -> (
+                  match
+                    ( parse_opt_float p50,
+                      parse_opt_float p95,
+                      parse_opt_float sl,
+                      parse_opt_float fr )
+                  with
+                  | Some a, Some b, Some c, Some d -> (Some (a, b, c, d), tl)
+                  | _ -> (None, tl))
+              | _ -> (None, tl))
+          | _ -> (Some (None, None, None, None), tl)
         in
         match
           ( parse_float fail,
@@ -225,7 +253,8 @@ let parse_cells ~path ~line n fields =
             parse_opt_float power,
             parse_float detour,
             parse_msg msg,
-            counters )
+            counters,
+            pareto )
         with
         | ( Some failure_ratio,
             Some error_ratio,
@@ -234,7 +263,8 @@ let parse_cells ~path ~line n fields =
             Some mean_power,
             Some mean_detour_hops,
             Some error_example,
-            Some counters ) ->
+            Some counters,
+            Some (mean_p50, mean_p95, mean_slope, front_ratio) ) ->
             go
               ({
                  name;
@@ -246,6 +276,10 @@ let parse_cells ~path ~line n fields =
                  mean_detour_hops;
                  error_example;
                  counters;
+                 mean_p50;
+                 mean_p95;
+                 mean_slope;
+                 front_ratio;
                }
               :: acc)
               (k - 1) tl

@@ -35,6 +35,14 @@ type cell = {
           some (or all) of these fields existed still load (same magic and
           version — the parser reads the arity off the field count) and
           come back with the missing counters as zero. *)
+  mean_p50 : float option;
+  mean_p95 : float option;
+  mean_slope : float option;
+  front_ratio : float option;
+      (** Pareto aggregates, serialized as four optional hex-float fields
+          after the counters. Checkpoints written before the Pareto layer
+          existed load with all four absent — the same arity tolerance as
+          the counters. *)
 }
 (** Serialized form of one [Runner.stats] cell. *)
 

@@ -1,3 +1,9 @@
+type sim_spec = {
+  sim_cycles : int;
+  sim_tolerance : float option;
+  sim_kills : int;
+}
+
 type t = {
   id : string;
   title : string;
@@ -7,7 +13,12 @@ type t = {
   scenario : (Traffic.Rng.t -> float -> Noc.Fault.t) option;
   paired : bool;
   heuristics : (float -> Routing.Heuristic.t list) option;
+  sim : (float -> sim_spec) option;
 }
+
+(* MANROUTE_SIM=0 turns the simulator columns off wholesale — campaigns
+   fall back to pure model-power scoring, Pareto cells read as absent. *)
+let sim_enabled () = Sys.getenv_opt "MANROUTE_SIM" <> Some "0"
 
 let mesh = Noc.Mesh.square 8
 
@@ -23,6 +34,7 @@ let count_sweep id title weight xs =
     scenario = None;
     paired = false;
     heuristics = None;
+    sim = None;
   }
 
 let fig7a =
@@ -49,6 +61,7 @@ let weight_sweep id title ~n xs =
     scenario = None;
     paired = false;
     heuristics = None;
+    sim = None;
   }
 
 let fig8a =
@@ -76,6 +89,7 @@ let length_sweep id title ~n weight =
     scenario = None;
     paired = false;
     heuristics = None;
+    sim = None;
   }
 
 let fig9a =
@@ -112,6 +126,7 @@ let figf =
             ~kills:(int_of_float x) mesh);
     paired = true;
     heuristics = None;
+    sim = None;
   }
 
 (* Split sweep (beyond the paper): the x axis is the per-communication
@@ -138,6 +153,7 @@ let figs =
         (fun x ->
           Routing.Heuristic.all
           @ [ Optim.Smp.heuristic ~name:"SMP" ~s:(int_of_float x) () ]);
+    sim = None;
   }
 
 (* Negotiation sweep (beyond the paper): the x axis is the iteration cap
@@ -165,6 +181,7 @@ let figpf =
               Optim.Pathfinder.heuristic ~name:"PF"
                 ~iterations:(int_of_float x) ();
             ]);
+    sim = None;
   }
 
 (* Recovery sweep (beyond the paper): the x axis is the number of fault
@@ -193,6 +210,42 @@ let figrec =
         (fun x ->
           Routing.Heuristic.all
           @ [ Optim.Recover.heuristic ~name:"REC" ~events:(int_of_float x) () ]);
+    sim = None;
+  }
+
+(* Pareto sweep (beyond the paper): every heuristic point is scored on
+   three objectives — model power, simulated p50/p95 packet latency, and
+   the fault-degradation slope under two deterministic link kills — and
+   each trial emits its non-dominated front. The x axis sweeps the
+   simulator's measured-cycle budget; paired, so trial [t] carries the
+   same 12 mixed communications (and the same slope fault) at every
+   budget and the only thing moving along x is measurement fidelity. The
+   early-exit tolerance keeps converged runs cheap; an overloaded
+   solution still burns its full budget (it never converges), which is
+   exactly the regime where the extra cycles matter. *)
+let figpareto =
+  {
+    id = "figpareto";
+    title = "Fig. P: Pareto sweep, 12 mixed comms vs sim cycle budget";
+    xlabel = "simulated measured cycles";
+    xs = [ 500.; 1000.; 2000. ];
+    generate =
+      (fun rng _ ->
+        Traffic.Workload.uniform rng mesh ~n:12 ~weight:Traffic.Workload.mixed);
+    scenario = None;
+    paired = true;
+    heuristics =
+      Some
+        (fun _ ->
+          Routing.Heuristic.all @ [ Optim.Smp.heuristic ~name:"SMP" ~s:2 () ]);
+    sim =
+      Some
+        (fun x ->
+          {
+            sim_cycles = int_of_float x;
+            sim_tolerance = Some 0.1;
+            sim_kills = 2;
+          });
   }
 
 let all =
@@ -210,6 +263,7 @@ let all =
     figs;
     figpf;
     figrec;
+    figpareto;
   ]
 
 let find id =

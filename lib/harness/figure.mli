@@ -5,6 +5,15 @@
     sub-figures (7a-c, 8a-c, 9a-c) on the paper's 8x8 CMP, plus a fault
     sweep ({!figf}) that goes beyond the paper. *)
 
+type sim_spec = {
+  sim_cycles : int;  (** Measured-cycle budget per {!Sim.Network.run}. *)
+  sim_tolerance : float option;
+      (** Early-exit tolerance; [None] runs the full budget. *)
+  sim_kills : int;
+      (** Link kills for the fault-degradation slope axis; [0] pins the
+          slope objective to 0. *)
+}
+
 type t = {
   id : string;  (** e.g. ["fig7a"]. *)
   title : string;
@@ -27,7 +36,19 @@ type t = {
           sweeps whose x parameterizes a heuristic ({!figs}). Must yield
           the same cell names at every x (the CSV has one column family
           per name). *)
+  sim : (float -> sim_spec) option;
+      (** Per-x simulation budget. [Some] switches the runner into Pareto
+          mode: every feasible cell is additionally scored on simulated
+          p50/p95 packet latency and the fault-degradation slope, per-trial
+          non-dominated fronts are computed ({!Optim.Pareto}), and four
+          extra CSV column families ([_p50], [_p95], [_slope], [_front])
+          appear. [None] keeps the classic power-only campaign. *)
 }
+
+val sim_enabled : unit -> bool
+(** [false] iff [MANROUTE_SIM=0]: the kill switch that disables the
+    simulation columns of Pareto figures wholesale (cells score as if
+    {!t.sim} were [None]). *)
 
 val mesh : Noc.Mesh.t
 (** The paper's 8x8 CMP. *)
@@ -94,9 +115,19 @@ val figrec : t
     [*_recover_sheds] / [*_recover_rung_max] CSV columns expose the
     escalation ladder's work. *)
 
+val figpareto : t
+(** Pareto sweep: 12 mixed communications on the 8x8 CMP while the x
+    axis raises the simulator's measured-cycle budget through 500, 1000,
+    2000 (cells: the six single-path heuristics plus [SMP] at s = 2).
+    Every feasible cell is scored on model power, simulated p50/p95
+    latency and the 2-kill fault-degradation slope; each trial emits its
+    non-dominated front and {!Summary} merges them into a campaign
+    front. Paired: the same workloads (and the same slope fault) at
+    every budget, so only measurement fidelity moves along x. *)
+
 val all : t list
 (** The nine paper figures in paper order, then {!figf}, {!figs},
-    {!figpf} and {!figrec}. *)
+    {!figpf}, {!figrec} and {!figpareto}. *)
 
 val find : string -> t option
 (** Lookup by [id] (case-insensitive). *)

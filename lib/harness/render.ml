@@ -33,7 +33,9 @@ let csv (r : Runner.result) =
         (Printf.sprintf ",%s_pf_iters,%s_pf_rips" name name);
       Buffer.add_string buf
         (Printf.sprintf ",%s_recover_events,%s_recover_sheds,%s_recover_rung_max"
-           name name name))
+           name name name);
+      Buffer.add_string buf
+        (Printf.sprintf ",%s_p50,%s_p95,%s_slope,%s_front" name name name name))
     names;
   Buffer.add_char buf '\n';
   List.iter
@@ -59,7 +61,16 @@ let csv (r : Runner.result) =
                c.Routing.Metrics.delta_evals c.Routing.Metrics.pf_iterations
                c.Routing.Metrics.pf_rips c.Routing.Metrics.recover_events
                c.Routing.Metrics.recover_sheds
-               c.Routing.Metrics.recover_rung_max))
+               c.Routing.Metrics.recover_rung_max);
+          (* Pareto columns: empty on non-sim figures (and on cells with
+             no feasible measured trial), like mean power above. *)
+          let opt v =
+            match v with Some f -> Printf.sprintf ",%.6f" f | None -> ","
+          in
+          Buffer.add_string buf (opt s.mean_p50);
+          Buffer.add_string buf (opt s.mean_p95);
+          Buffer.add_string buf (opt s.mean_slope);
+          Buffer.add_string buf (opt s.front_ratio))
         row.cells;
       Buffer.add_char buf '\n')
     r.rows;

@@ -7,6 +7,10 @@ type stats = {
   mean_detour_hops : float;
   error_example : string option;
   counters : Routing.Metrics.counters;
+  mean_p50 : float option;
+  mean_p95 : float option;
+  mean_slope : float option;
+  front_ratio : float option;
 }
 
 type row = { x : float; cells : (string * stats) list }
@@ -40,13 +44,28 @@ let trial_rng ~figure_id ~x ~seed ~trial =
   Traffic.Rng.of_key figure_id
     [ Int64.of_int seed; Int64.bits_of_float x; Int64.of_int trial ]
 
+(* What the Pareto layer measured for one feasible cell: simulated
+   latency quantiles, the fault-degradation slope, and whether the cell's
+   point survived the trial's non-dominated front. *)
+type simobs = {
+  so_p50 : float;
+  so_p95 : float;
+  so_slope : float;
+  so_front : bool;
+}
+
 (* What one trial contributes to one cell. Immutable: trials are evaluated
    on worker domains and folded afterwards in trial order, so the floating
    sums associate identically for every job count. *)
 type contribution =
   | Fail
   | Errored of string
-  | Feasible of { norm : float; power : float; detour : int }
+  | Feasible of {
+      norm : float;
+      power : float;
+      detour : int;
+      sim : simobs option;
+    }
 
 type trial = {
   contribs : (string * contribution) list;
@@ -90,17 +109,33 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
      noise. *)
   let rng_x = if figure.Figure.paired then 0. else x in
   let rng = trial_rng ~figure_id:figure.Figure.id ~x:rng_x ~seed ~trial:t in
+  let simspec =
+    match figure.Figure.sim with
+    | Some f when Figure.sim_enabled () -> Some (f x)
+    | _ -> None
+  in
   (* The workload comes off the rng before the fault, so a trial's
-     communications are the same whatever the scenario does with x. *)
+     communications are the same whatever the scenario does with x. The
+     Pareto slope fault draws last — after workload and scenario — so it
+     perturbs neither, and on paired figures (the rng ignores x) trial [t]
+     probes resilience against the very same damage at every budget. *)
   match
     try
       let comms = figure.Figure.generate rng x in
       let fault = Option.map (fun f -> f rng x) figure.Figure.scenario in
-      Ok (comms, fault)
+      let sim_fault =
+        match simspec with
+        | Some sp when sp.Figure.sim_kills > 0 ->
+            Some
+              (Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng)
+                 ~kills:sp.Figure.sim_kills Figure.mesh)
+        | _ -> None
+      in
+      Ok (comms, fault, sim_fault)
     with e -> Error (Printexc.to_string e)
   with
   | Error msg -> errored_trial ~names:(cell_names heuristics) msg
-  | Ok (comms, fault) ->
+  | Ok (comms, fault, sim_fault) ->
       let times = ref [] in
       let counts = ref [] in
       let attempts =
@@ -140,7 +175,59 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
         | Some o -> Some o.report.Routing.Evaluate.total_power
         | None -> None
       in
-      let contribution (report : Routing.Evaluate.report option) =
+      (* Pareto scoring: every feasible attempt is simulated (one shared
+         per-domain arena recycles the buffers) and probed for its slope,
+         then the trial's non-dominated front is computed over the
+         heuristic points. Deterministic — the simulator carries no RNG
+         and the slope fault was drawn above — so the per-cell [simobs]
+         are jobs-invariant like every other contribution. *)
+      let sims =
+        match simspec with
+        | None -> []
+        | Some sp ->
+            Telemetry.span ~cat:"sim" "pareto"
+            @@ fun () ->
+            let arena = Sim.Network.Arena.domain () in
+            let budget =
+              {
+                Optim.Pareto.cycles = sp.Figure.sim_cycles;
+                tolerance = sp.Figure.sim_tolerance;
+                warmup = None;
+              }
+            in
+            List.filter_map
+              (fun (name, r) ->
+                match r with
+                | Ok (o : Routing.Best.outcome) ->
+                    Option.map
+                      (fun obj -> (name, obj))
+                      (Optim.Pareto.measure ~arena ~budget ?fault:sim_fault
+                         ~kills:sp.Figure.sim_kills model ~report:o.report
+                         o.solution)
+                | Error _ -> None)
+              attempts
+      in
+      let front_names =
+        List.map
+          (fun (p : Optim.Pareto.point) -> p.pt_name)
+          (Optim.Pareto.front
+             (List.map
+                (fun (name, obj) ->
+                  { Optim.Pareto.pt_name = name; pt_obj = obj })
+                sims))
+      in
+      let simobs_for name =
+        Option.map
+          (fun (obj : Optim.Pareto.objectives) ->
+            {
+              so_p50 = obj.p50;
+              so_p95 = obj.p95;
+              so_slope = obj.slope;
+              so_front = List.mem name front_names;
+            })
+          (List.assoc_opt name sims)
+      in
+      let contribution ~sim (report : Routing.Evaluate.report option) =
         match (report, best_power) with
         | Some r, Some pb when r.feasible ->
             Feasible
@@ -148,6 +235,7 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
                 norm = pb /. r.total_power;
                 power = r.total_power;
                 detour = r.detour_hops;
+                sim;
               }
         | _ -> Fail
       in
@@ -156,12 +244,19 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
           (fun (name, r) ->
             match r with
             | Ok (o : Routing.Best.outcome) ->
-                (name, contribution (Some o.report))
+                (name, contribution ~sim:(simobs_for name) (Some o.report))
             | Error msg -> (name, Errored msg))
           attempts
         @ [
             ( "BEST",
+              (* The BEST cell mirrors its winner's measurement — same
+                 point, same front membership. *)
               contribution
+                ~sim:
+                  (match best with
+                  | Some (o : Routing.Best.outcome) ->
+                      simobs_for o.heuristic.Routing.Heuristic.name
+                  | None -> None)
                 (Option.map (fun (o : Routing.Best.outcome) -> o.report) best)
             );
           ]
@@ -181,7 +276,10 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
       in
       let obs =
         if List.exists (fun (_, r) -> Result.is_error r) attempts then None
-        else Some (Summary.observation ~outcomes ~best ~times:!times ~counters:work)
+        else
+          Some
+            (Summary.observation ~pareto:sims ~outcomes ~best ~times:!times
+               ~counters:work)
       in
       { contribs; work; obs }
 
@@ -194,6 +292,12 @@ type cell_acc = {
   power_sum : float;
   power_n : int;
   detour_sum : int;
+  sim_n : int;  (* feasible trials that were Pareto-scored *)
+  lat_n : int;  (* of those, with finite latency quantiles *)
+  p50_sum : float;
+  p95_sum : float;
+  slope_sum : float;
+  front_n : int;
   work : Routing.Metrics.counters;
       (* Mutable block accumulated in place across the functional updates
          below — which is why this must be a function, not a shared
@@ -210,6 +314,12 @@ let cell_zero () =
     power_sum = 0.;
     power_n = 0;
     detour_sum = 0;
+    sim_n = 0;
+    lat_n = 0;
+    p50_sum = 0.;
+    p95_sum = 0.;
+    slope_sum = 0.;
+    front_n = 0;
     work = Routing.Metrics.zero ();
   }
 
@@ -223,15 +333,33 @@ let cell_add c = function
         error_example =
           (match c.error_example with Some _ as e -> e | None -> Some msg);
       }
-  | Feasible { norm = v; power; detour } ->
-      {
-        c with
-        norm_sum = c.norm_sum +. v;
-        norm_sumsq = c.norm_sumsq +. (v *. v);
-        power_sum = c.power_sum +. power;
-        power_n = c.power_n + 1;
-        detour_sum = c.detour_sum + detour;
-      }
+  | Feasible { norm = v; power; detour; sim } ->
+      let c =
+        {
+          c with
+          norm_sum = c.norm_sum +. v;
+          norm_sumsq = c.norm_sumsq +. (v *. v);
+          power_sum = c.power_sum +. power;
+          power_n = c.power_n + 1;
+          detour_sum = c.detour_sum + detour;
+        }
+      in
+      (match sim with
+      | None -> c
+      | Some s ->
+          (* A NaN quantile (nothing delivered inside the measured window)
+             stays out of the latency means but still counts toward the
+             slope and front populations — the point existed and competed. *)
+          let finite = Float.is_finite s.so_p50 && Float.is_finite s.so_p95 in
+          {
+            c with
+            sim_n = c.sim_n + 1;
+            lat_n = (c.lat_n + if finite then 1 else 0);
+            p50_sum = (c.p50_sum +. if finite then s.so_p50 else 0.);
+            p95_sum = (c.p95_sum +. if finite then s.so_p95 else 0.);
+            slope_sum = c.slope_sum +. s.so_slope;
+            front_n = (c.front_n + if s.so_front then 1 else 0);
+          })
 
 let stats_of_cell ~trials c =
   let n = float_of_int trials in
@@ -249,6 +377,16 @@ let stats_of_cell ~trials c =
        else float_of_int c.detour_sum /. float_of_int c.power_n);
     error_example = c.error_example;
     counters = c.work;
+    mean_p50 =
+      (if c.lat_n = 0 then None else Some (c.p50_sum /. float_of_int c.lat_n));
+    mean_p95 =
+      (if c.lat_n = 0 then None else Some (c.p95_sum /. float_of_int c.lat_n));
+    mean_slope =
+      (if c.sim_n = 0 then None
+       else Some (c.slope_sum /. float_of_int c.sim_n));
+    front_ratio =
+      (if c.sim_n = 0 then None
+       else Some (float_of_int c.front_n /. float_of_int c.sim_n));
   }
 
 let stats_of_checkpoint (c : Checkpoint.cell) =
@@ -261,6 +399,10 @@ let stats_of_checkpoint (c : Checkpoint.cell) =
     mean_detour_hops = c.mean_detour_hops;
     error_example = c.error_example;
     counters = c.counters;
+    mean_p50 = c.mean_p50;
+    mean_p95 = c.mean_p95;
+    mean_slope = c.mean_slope;
+    front_ratio = c.front_ratio;
   }
 
 let checkpoint_of_stats (name, s) =
@@ -274,6 +416,10 @@ let checkpoint_of_stats (name, s) =
     mean_detour_hops = s.mean_detour_hops;
     error_example = s.error_example;
     counters = s.counters;
+    mean_p50 = s.mean_p50;
+    mean_p95 = s.mean_p95;
+    mean_slope = s.mean_slope;
+    front_ratio = s.front_ratio;
   }
 
 (* What the audit selector needs to know about one finished trial, read
@@ -309,7 +455,12 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
   @@ fun () ->
   let rng_x = if figure.Figure.paired then 0. else x in
   let rng = trial_rng ~figure_id:figure.Figure.id ~x:rng_x ~seed ~trial:t in
-  let base ~cells ~best ~probe =
+  let simspec =
+    match figure.Figure.sim with
+    | Some f when Figure.sim_enabled () -> Some (f x)
+    | _ -> None
+  in
+  let base ~cells ~best ~front ~probe =
     {
       Audit.figure_id = figure.Figure.id;
       seed;
@@ -319,6 +470,7 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
       kinds;
       cells;
       best;
+      front;
       probe;
     }
   in
@@ -326,7 +478,16 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
     try
       let comms = figure.Figure.generate rng x in
       let fault = Option.map (fun f -> f rng x) figure.Figure.scenario in
-      Ok (comms, fault)
+      (* Same draw order as [run_trial]: workload, scenario, slope fault. *)
+      let sim_fault =
+        match simspec with
+        | Some sp when sp.Figure.sim_kills > 0 ->
+            Some
+              (Noc.Fault.random_dead ~choose:(Traffic.Rng.int rng)
+                 ~kills:sp.Figure.sim_kills Figure.mesh)
+        | _ -> None
+      in
+      Ok (comms, fault, sim_fault)
     with e -> Error (Printexc.to_string e)
   with
   | Error msg ->
@@ -339,10 +500,11 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
                  outcome = Error msg;
                  pathfinder = None;
                  recover = None;
+                 objectives = None;
                })
              heuristics)
-        ~best:None ~probe:None
-  | Ok (comms, fault) ->
+        ~best:None ~front:None ~probe:None
+  | Ok (comms, fault, sim_fault) ->
       let attempts =
         List.map
           (fun (h : Routing.Heuristic.t) ->
@@ -369,6 +531,46 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
         List.filter_map (fun (_, r, _, _) -> Result.to_option r) attempts
       in
       let best = Routing.Best.best_of outcomes in
+      (* Same Pareto measurement as [run_trial] — shared arena, same
+         budget, same slope fault — so the audited objectives are the
+         very numbers the campaign folded. *)
+      let sims =
+        match simspec with
+        | None -> []
+        | Some sp ->
+            let arena = Sim.Network.Arena.domain () in
+            let budget =
+              {
+                Optim.Pareto.cycles = sp.Figure.sim_cycles;
+                tolerance = sp.Figure.sim_tolerance;
+                warmup = None;
+              }
+            in
+            List.filter_map
+              (fun (name, r, _, _) ->
+                match r with
+                | Ok (o : Routing.Best.outcome) ->
+                    Option.map
+                      (fun obj -> (name, obj))
+                      (Optim.Pareto.measure ~arena ~budget ?fault:sim_fault
+                         ~kills:sp.Figure.sim_kills model ~report:o.report
+                         o.solution)
+                | Error _ -> None)
+              attempts
+      in
+      let front =
+        match simspec with
+        | None -> None
+        | Some _ ->
+            Some
+              (List.map
+                 (fun (p : Optim.Pareto.point) -> p.pt_name)
+                 (Optim.Pareto.front
+                    (List.map
+                       (fun (name, obj) ->
+                         { Optim.Pareto.pt_name = name; pt_obj = obj })
+                       sims)))
+      in
       let cells =
         List.map
           (fun (name, r, pf, rec_) ->
@@ -380,6 +582,7 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
                   r;
               pathfinder = pf;
               recover = rec_;
+              objectives = List.assoc_opt name sims;
             })
           attempts
       in
@@ -389,6 +592,7 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
              (fun (o : Routing.Best.outcome) ->
                o.Routing.Best.heuristic.Routing.Heuristic.name)
              best)
+        ~front
         ~probe:
           (Option.map
              (fun (o : Routing.Best.outcome) ->

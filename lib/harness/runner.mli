@@ -37,6 +37,21 @@ type stats = {
           Deterministic and jobs-invariant like the statistics: a trial's
           work is a function of its rng key, measured as a snapshot
           difference on the one domain that ran it. *)
+  mean_p50 : float option;
+      (** Mean simulated median packet latency over the cell's
+          Pareto-scored trials with finite quantiles; [None] on non-sim
+          figures (or under [MANROUTE_SIM=0]), and when no trial measured
+          a finite quantile. *)
+  mean_p95 : float option;
+      (** Same for the 95th percentile. *)
+  mean_slope : float option;
+      (** Mean fault-degradation slope (penalized-cost increase per killed
+          link) over the Pareto-scored trials; [None] on non-sim
+          figures. *)
+  front_ratio : float option;
+      (** Fraction of Pareto-scored trials where this cell's point
+          survived the trial's non-dominated front; [None] on non-sim
+          figures. *)
 }
 
 type row = { x : float; cells : (string * stats) list }

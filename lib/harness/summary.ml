@@ -8,6 +8,9 @@ type obs = {
   o_times : (string * float) list;
   o_counters : (string * Routing.Metrics.counters) list;
       (* Per-heuristic work-counter deltas (see {!Routing.Metrics}). *)
+  o_pareto : (string * Optim.Pareto.objectives) list;
+      (* Per-heuristic Pareto points, when the instance was sim-scored;
+         empty otherwise. *)
 }
 
 (* The accumulator RETAINS its observations (most recent first) instead of
@@ -21,7 +24,7 @@ type acc = { mutable obs_rev : obs list; mutable count : int }
 
 let create () = { obs_rev = []; count = 0 }
 
-let observation ~outcomes ~best ~times ~counters =
+let observation ~pareto ~outcomes ~best ~times ~counters =
   let cell (o : Routing.Best.outcome) =
     ( o.heuristic.Routing.Heuristic.name,
       if o.report.Routing.Evaluate.feasible then
@@ -42,6 +45,7 @@ let observation ~outcomes ~best ~times ~counters =
     o_static;
     o_times = times;
     o_counters = counters;
+    o_pareto = pareto;
   }
 
 let add acc obs =
@@ -49,7 +53,7 @@ let add acc obs =
   acc.count <- acc.count + 1
 
 let observe acc ~outcomes ~best ~times ~counters =
-  add acc (observation ~outcomes ~best ~times ~counters)
+  add acc (observation ~pareto:[] ~outcomes ~best ~times ~counters)
 
 (* [src]'s observations fold AFTER [into]'s existing ones — the documented
    merge order. Feeding per-worker accumulators shard 0, 1, ... into the
@@ -82,6 +86,7 @@ type t = {
   mean_runtime_ms : (string * float) list;
   runtime_quantiles_ms : (string * (float * float)) list;
   counters : (string * Routing.Metrics.counters) list;
+  pareto_front : Optim.Pareto.point list;
 }
 
 let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "SMP"; "PF"; "REC"; "BEST" ]
@@ -113,6 +118,7 @@ let finalize (acc : acc) =
         e
   in
   let static_sum = ref 0. and static_n = ref 0 in
+  let ordered = List.rev acc.obs_rev in
   List.iter
     (fun obs ->
       List.iter
@@ -140,7 +146,7 @@ let finalize (acc : acc) =
       List.iter
         (fun (name, c) -> Routing.Metrics.add ~into:(entry name).work c)
         obs.o_counters)
-    (List.rev acc.obs_rev);
+    ordered;
   let names = List.filter (fun name -> Hashtbl.mem table name) order in
   let per f = List.map (fun name -> (name, f (Hashtbl.find table name))) names in
   let pop e = float_of_int (max 1 e.seen) in
@@ -186,6 +192,18 @@ let finalize (acc : acc) =
           let e = Hashtbl.find table name in
           if Routing.Metrics.is_zero e.work then None else Some (name, e.work))
         names;
+    pareto_front =
+      (* Points fold in observation order and {!Optim.Pareto.front}
+         preserves that order, so the merged campaign front is
+         jobs-invariant for the same reason every other aggregate is. *)
+      Optim.Pareto.front
+        (List.concat_map
+           (fun obs ->
+             List.map
+               (fun (name, obj) ->
+                 { Optim.Pareto.pt_name = name; pt_obj = obj })
+               obs.o_pareto)
+           ordered);
   }
 
 let pp ppf t =
@@ -213,6 +231,16 @@ let pp ppf t =
       (fun (name, c) ->
         Format.fprintf ppf "  %-5s %a@," name Routing.Metrics.pp c)
       t.counters
+  end;
+  if t.pareto_front <> [] then begin
+    let n = List.length t.pareto_front in
+    Format.fprintf ppf "pareto front (%d non-dominated points):@," n;
+    List.iteri
+      (fun i p ->
+        if i < 12 then
+          Format.fprintf ppf "  %a@," Optim.Pareto.pp_point p)
+      t.pareto_front;
+    if n > 12 then Format.fprintf ppf "  ... (%d more)@," (n - 12)
   end;
   if not (Float.is_nan t.static_fraction) then
     Format.fprintf ppf "static power fraction of BEST: %.3f (paper: ~1/7)@,"

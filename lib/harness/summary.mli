@@ -26,6 +26,7 @@ type obs
     domain and fold later. *)
 
 val observation :
+  pareto:(string * Optim.Pareto.objectives) list ->
   outcomes:Routing.Best.outcome list ->
   best:Routing.Best.outcome option ->
   times:(string * float) list ->
@@ -34,7 +35,9 @@ val observation :
 (** Capture one instance: the per-heuristic outcomes, the BEST outcome,
     per-heuristic wall-clock seconds, and per-heuristic work-counter
     deltas (captured with {!Routing.Metrics.snapshot}/[diff] on the worker
-    that ran the instance). *)
+    that ran the instance). [pareto] carries the per-heuristic Pareto
+    points of a sim-scored instance (empty for classic power-only
+    campaigns); they feed the merged {!t.pareto_front}. *)
 
 val add : acc -> obs -> unit
 (** Fold one observation into the accumulator (a cons — no float math
@@ -73,6 +76,12 @@ type t = {
   counters : (string * Routing.Metrics.counters) list;
       (** Per-heuristic {!Routing.Metrics} work totals; heuristics whose
           block is all zero are omitted. *)
+  pareto_front : Optim.Pareto.point list;
+      (** The campaign-wide non-dominated front, merged over every
+          sim-scored instance's points in observation order (empty for
+          classic power-only campaigns). Jobs-invariant: points fold in
+          the deterministic observation order and {!Optim.Pareto.front}
+          preserves it. *)
 }
 
 val finalize : acc -> t

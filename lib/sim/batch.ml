@@ -1,0 +1,9 @@
+let run ?config ?arena ?warmup ?tolerance ~cycles model solutions =
+  let arena =
+    match arena with Some a -> a | None -> Network.Arena.domain ()
+  in
+  List.map
+    (fun solution ->
+      let net = Network.create ?config ~arena model solution in
+      Network.run ?warmup ?tolerance net ~cycles)
+    solutions

@@ -1,0 +1,21 @@
+(** Batched multi-solution simulation.
+
+    A campaign trial sweeps one workload through every heuristic and
+    simulates each resulting solution on the same mesh. Running the batch
+    through one {!Network.Arena} amortizes network construction — the
+    per-link buffer matrices and the mesh input-link table are allocated
+    once and recycled — while every report stays bit-identical to a
+    freshly allocated run. *)
+
+val run :
+  ?config:Config.t ->
+  ?arena:Network.Arena.t ->
+  ?warmup:int ->
+  ?tolerance:float ->
+  cycles:int ->
+  Power.Model.t ->
+  Routing.Solution.t list ->
+  Network.report list
+(** Simulate each solution in order, reusing one arena across the batch
+    (the calling domain's arena by default). [warmup], [tolerance] and
+    [cycles] as in {!Network.run}. *)

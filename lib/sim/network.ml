@@ -51,6 +51,8 @@ type t = {
   mutable next_packet_id : int;
   mutable cycle : int;
   mutable flits_in_flight : int;
+  mutable total_injected : int;  (* whole-run flits entering the network *)
+  mutable total_ejected : int;  (* whole-run flits consumed at their sink *)
   mutable last_progress : int;
   mutable measuring : bool;
   mutable measured_cycles : int;
@@ -67,6 +69,49 @@ let path_links mesh path =
 let walk_links mesh walk =
   Array.map (Noc.Mesh.link_id mesh) (Noc.Walk.links walk)
 
+(* ---------------- reusable arenas ---------------- *)
+
+(* A campaign sweeps many solutions over the same mesh; allocating the
+   per-link buffer matrices afresh for every simulation is an allocation
+   storm under the worker pool. An arena caches one set of buffers keyed
+   by (links, VCs, buffer depth) plus the mesh-derived input-link table,
+   and {!create} resets them to exactly the state a fresh allocation
+   would have — a network built in an arena is bit-identical to a
+   fresh one, it just skips the allocator. Only the most recent network
+   built in an arena is valid: building the next one recycles the
+   buffers under the previous network's feet. *)
+module Arena = struct
+  type slab = {
+    s_nlinks : int;
+    s_vcs : int;
+    s_buffer : int;
+    s_rate : float array;
+    s_credit : float array;
+    s_queue : flit Queue.t array array;
+    s_space : int array array;
+    s_owner : int array array;
+    s_next_alloc : (int * int) option array array;
+    s_wait : int array array;
+    s_rr : int array;
+    s_link_flits : int array;
+    s_packets : (int, packet) Hashtbl.t;
+  }
+
+  type t = {
+    mutable slab : slab option;
+    mutable inputs : (int * int * int list array) option;
+        (* (rows, cols, inputs_of): the table is a pure function of the
+           mesh shape, so the shape is the key. *)
+  }
+
+  let create () = { slab = None; inputs = None }
+
+  (* One arena per domain: workers of the Monte-Carlo pool each get
+     their own buffers, so arena reuse is race-free by construction. *)
+  let key = Domain.DLS.new_key create
+  let domain () = Domain.DLS.get key
+end
+
 let link_rate config model load =
   let cap = model.Power.Model.capacity in
   match Power.Model.required_frequency model load with
@@ -79,13 +124,74 @@ let link_rate config model load =
   | Some f -> f /. cap
   | None -> 1. (* overloaded link: clock it flat out and let it saturate *)
 
-let create ?(config = Config.default) model solution =
+(* Buffers for one network: recycled from the arena when the shape
+   matches, freshly allocated (and stashed for next time) otherwise.
+   Reset is exhaustive — every mutable cell a fresh allocation would
+   zero is rewritten — so the two paths are observationally identical. *)
+let slab_for ~arena ~nlinks ~vcs ~buffer =
+  let fresh () =
+    {
+      Arena.s_nlinks = nlinks;
+      s_vcs = vcs;
+      s_buffer = buffer;
+      s_rate = Array.make nlinks 0.;
+      s_credit = Array.make nlinks 0.;
+      s_queue = Array.init nlinks (fun _ -> Array.init vcs (fun _ -> Queue.create ()));
+      s_space = Array.make_matrix nlinks vcs buffer;
+      s_owner = Array.make_matrix nlinks vcs (-1);
+      s_next_alloc = Array.make_matrix nlinks vcs None;
+      s_wait = Array.make_matrix nlinks vcs 0;
+      s_rr = Array.make nlinks 0;
+      s_link_flits = Array.make nlinks 0;
+      s_packets = Hashtbl.create 256;
+    }
+  in
+  match arena with
+  | None -> fresh ()
+  | Some (a : Arena.t) -> (
+      match a.slab with
+      | Some s
+        when s.Arena.s_nlinks = nlinks && s.s_vcs = vcs && s.s_buffer = buffer
+        ->
+          Array.fill s.s_credit 0 nlinks 0.;
+          Array.fill s.s_rr 0 nlinks 0;
+          Array.fill s.s_link_flits 0 nlinks 0;
+          for l = 0 to nlinks - 1 do
+            Array.fill s.s_space.(l) 0 vcs buffer;
+            Array.fill s.s_owner.(l) 0 vcs (-1);
+            Array.fill s.s_next_alloc.(l) 0 vcs None;
+            Array.fill s.s_wait.(l) 0 vcs 0;
+            Array.iter Queue.clear s.s_queue.(l)
+          done;
+          Hashtbl.reset s.s_packets;
+          s
+      | _ ->
+          let s = fresh () in
+          a.slab <- Some s;
+          s)
+
+let inputs_table mesh nlinks =
+  Array.init nlinks (fun l ->
+      let src = (Noc.Mesh.link_of_id mesh l).Noc.Mesh.src in
+      List.filter_map
+        (fun nb ->
+          let inl = Noc.Mesh.link ~src:nb ~dst:src in
+          Some (Noc.Mesh.link_id mesh inl))
+        (Noc.Mesh.neighbors mesh src))
+
+let create ?(config = Config.default) ?arena model solution =
   Config.validate config;
   let mesh = Routing.Solution.mesh solution in
   let nlinks = Noc.Mesh.num_links mesh in
   let loads = Routing.Solution.loads solution in
-  let rate = Array.init nlinks (fun l -> link_rate config model (Noc.Load.get loads l)) in
   let vcs = config.Config.num_vcs in
+  let slab =
+    slab_for ~arena ~nlinks ~vcs ~buffer:config.Config.buffer_flits
+  in
+  let rate = slab.Arena.s_rate in
+  for l = 0 to nlinks - 1 do
+    rate.(l) <- link_rate config model (Noc.Load.get loads l)
+  done;
   let injectors =
     Array.of_list
       (List.map
@@ -125,38 +231,43 @@ let create ?(config = Config.default) model solution =
       Hashtbl.replace injectors_at core (prev @ [ i ]))
     injectors;
   let inputs_of =
-    Array.init nlinks (fun l ->
-        let src = (Noc.Mesh.link_of_id mesh l).Noc.Mesh.src in
-        List.filter_map
-          (fun nb ->
-            let inl = Noc.Mesh.link ~src:nb ~dst:src in
-            Some (Noc.Mesh.link_id mesh inl))
-          (Noc.Mesh.neighbors mesh src))
+    let rows = Noc.Mesh.rows mesh and cols = Noc.Mesh.cols mesh in
+    match arena with
+    | Some ({ Arena.inputs = Some (r, c, table); _ } : Arena.t)
+      when r = rows && c = cols ->
+        table
+    | Some a ->
+        let table = inputs_table mesh nlinks in
+        a.Arena.inputs <- Some (rows, cols, table);
+        table
+    | None -> inputs_table mesh nlinks
   in
   {
     config;
     mesh;
     nlinks;
     rate;
-    credit = Array.make nlinks 0.;
-    queue = Array.init nlinks (fun _ -> Array.init vcs (fun _ -> Queue.create ()));
-    space = Array.make_matrix nlinks vcs config.Config.buffer_flits;
-    owner = Array.make_matrix nlinks vcs (-1);
-    next_alloc = Array.make_matrix nlinks vcs None;
-    wait = Array.make_matrix nlinks vcs 0;
+    credit = slab.Arena.s_credit;
+    queue = slab.Arena.s_queue;
+    space = slab.Arena.s_space;
+    owner = slab.Arena.s_owner;
+    next_alloc = slab.Arena.s_next_alloc;
+    wait = slab.Arena.s_wait;
     inputs_of;
     injectors;
     injectors_at;
-    packets = Hashtbl.create 256;
-    rr = Array.make nlinks 0;
+    packets = slab.Arena.s_packets;
+    rr = slab.Arena.s_rr;
     next_packet_id = 0;
     cycle = 0;
     flits_in_flight = 0;
+    total_injected = 0;
+    total_ejected = 0;
     last_progress = 0;
     measuring = false;
     measured_cycles = 0;
     flits_moved = 0;
-    link_flits = Array.make nlinks 0;
+    link_flits = slab.Arena.s_link_flits;
     ran = false;
     observer = None;
     kills = [];
@@ -278,6 +389,7 @@ let eject t =
             ignore (Queue.pop q);
             t.space.(l).(v) <- t.space.(l).(v) + 1;
             t.flits_in_flight <- t.flits_in_flight - 1;
+            t.total_ejected <- t.total_ejected + 1;
             t.last_progress <- t.cycle;
             let inj = t.injectors.(pkt.comm_idx) in
             if t.measuring then inj.flits_delivered <- inj.flits_delivered + 1;
@@ -391,6 +503,7 @@ let try_transfer t l_out req =
                 if is_head then inj.emit_vc <- w;
                 inj.emit_count <- inj.emit_count + 1;
                 t.flits_in_flight <- t.flits_in_flight + 1;
+                t.total_injected <- t.total_injected + 1;
                 if is_tail then begin
                   ignore (Queue.pop inj.pending);
                   inj.emit_count <- 0;
@@ -524,6 +637,12 @@ type report = {
   max_link_utilization : float;
   link_utilization : (int * float) array;
       (* per link id, measured flits per cycle, id order *)
+  latency_p50 : float;
+  latency_p95 : float;
+  injected_flits : int;
+  ejected_flits : int;
+  in_flight_flits : int;
+  early_exit : bool;
 }
 
 (* Nearest-rank percentile of the recorded latencies. *)
@@ -537,11 +656,51 @@ let percentile latencies q =
       let rank = int_of_float (ceil (q *. float_of_int n)) in
       float_of_int a.(max 0 (min (n - 1) (rank - 1)))
 
-let run ?warmup t ~cycles =
+(* One convergence probe per injector: the delivered rate and the latency
+   quantiles measured so far. *)
+let probe_injector measured (inj : injector) =
+  let rate =
+    if measured = 0 then 0.
+    else
+      float_of_int inj.flits_delivered /. float_of_int measured
+      *. (inj.comm.Traffic.Communication.rate /. inj.flit_rate)
+  in
+  (rate, percentile inj.latencies 0.50, percentile inj.latencies 0.95)
+
+(* Convergence between two probes of the same injector, within the
+   relative tolerance [tol]: the delivered rate must have reached the
+   request (an overloaded link keeps [delivered < requested] forever and
+   therefore never converges) and the rate and both quantiles must have
+   stopped moving. NaN quantiles (nothing delivered yet) never pass the
+   comparisons, so an idle window cannot fake convergence — except for a
+   genuinely zero-rate communication, which is vacuously converged. *)
+let probe_stable ~tol (inj : injector) (r0, p50_0, p95_0) (r1, p50_1, p95_1) =
+  let requested = inj.comm.Traffic.Communication.rate in
+  let close scale a b = Float.abs (a -. b) <= tol *. Float.max scale 1. in
+  requested <= 0.
+  || (r1 >= (1. -. tol) *. requested
+     && close requested r0 r1
+     && close p50_1 p50_0 p50_1
+     && close p95_1 p95_0 p95_1)
+
+let run ?warmup ?tolerance t ~cycles =
   if t.ran then invalid_arg "Sim.Network.run: already run";
+  if cycles <= 0 then invalid_arg "Sim.Network.run: cycles must be positive";
+  (match warmup with
+  | Some w when w < 0 -> invalid_arg "Sim.Network.run: negative warmup"
+  | _ -> ());
+  (match tolerance with
+  | Some tol when (not (Float.is_finite tol)) || tol <= 0. ->
+      invalid_arg "Sim.Network.run: tolerance must be positive"
+  | _ -> ());
   t.ran <- true;
   let warmup = match warmup with Some w -> w | None -> cycles / 5 in
   let deadlocked = ref false in
+  let early = ref false in
+  (* Early-exit checkpoints: every [chunk] measured cycles, compare the
+     per-communication probes against the previous checkpoint's. *)
+  let chunk = max 128 (cycles / 16) in
+  let prev_probe = ref None in
   let window = t.config.Config.deadlock_window in
   let total = warmup + cycles in
   (try
@@ -565,7 +724,31 @@ let run ?warmup t ~cycles =
          deadlocked := true;
          emit t (Deadlock { cycle = t.cycle });
          raise Exit
-       end
+       end;
+       (match tolerance with
+       | Some tol
+         when t.measuring
+              && t.measured_cycles mod chunk = 0
+              && t.measured_cycles < cycles ->
+           let cur =
+             Array.map (probe_injector t.measured_cycles) t.injectors
+           in
+           let stable prev =
+             let n = Array.length t.injectors in
+             let rec go i =
+               i >= n
+               || (probe_stable ~tol t.injectors.(i) prev.(i) cur.(i)
+                  && go (i + 1))
+             in
+             go 0
+           in
+           (match !prev_probe with
+           | Some prev when stable prev ->
+               early := true;
+               raise Exit
+           | _ -> ());
+           prev_probe := Some cur
+       | _ -> ())
      done
    with Exit -> ());
   let measured = max 1 t.measured_cycles in
@@ -608,11 +791,31 @@ let run ?warmup t ~cycles =
       Array.mapi
         (fun l n -> (l, float_of_int n /. float_of_int measured))
         t.link_flits;
+    (* Pooled quantiles over every measured tail latency, injector order
+       — the campaign-level latency objective. *)
+    latency_p50 =
+      percentile
+        (Array.fold_left
+           (fun acc (inj : injector) -> List.rev_append inj.latencies acc)
+           [] t.injectors)
+        0.50;
+    latency_p95 =
+      percentile
+        (Array.fold_left
+           (fun acc (inj : injector) -> List.rev_append inj.latencies acc)
+           [] t.injectors)
+        0.95;
+    injected_flits = t.total_injected;
+    ejected_flits = t.total_ejected;
+    in_flight_flits = t.flits_in_flight;
+    early_exit = !early;
   }
 
 let pp_report ppf r =
-  Format.fprintf ppf "@[<v>sim: %d measured cycles, %d flit moves%s@,"
-    r.cycles r.flits_moved
+  Format.fprintf ppf "@[<v>sim: %d measured cycles%s, %d flit moves%s@,"
+    r.cycles
+    (if r.early_exit then " (early exit)" else "")
+    r.flits_moved
     (if r.deadlocked then " [DEADLOCK]" else "");
   List.iter
     (fun s ->

@@ -18,6 +18,23 @@
 
 type t
 
+(** Reusable simulation buffers. A campaign simulates many solutions over
+    the same mesh; an arena caches the per-link buffer matrices (keyed by
+    link count, VC count and buffer depth) and the mesh-derived input-link
+    table, so {!create} skips the allocation storm. Networks built in an
+    arena are bit-identical to freshly allocated ones — reuse resets every
+    cell — but only the most recently built network is valid: the next
+    {!create} in the same arena recycles the buffers. *)
+module Arena : sig
+  type t
+
+  val create : unit -> t
+
+  val domain : unit -> t
+  (** The calling domain's arena (one per domain, so pool workers never
+      share buffers). *)
+end
+
 (** Observable simulator events (see {!set_observer}). *)
 type event =
   | Injected of { cycle : int; comm_id : int; packet : int }
@@ -53,13 +70,29 @@ type report = {
   max_link_utilization : float;  (** Flits per cycle on the busiest link. *)
   link_utilization : (int * float) array;
       (** Measured flits per cycle for every link id, in id order. *)
+  latency_p50 : float;
+      (** Median over {e all} measured tail latencies, pooled across
+          communications (NaN when nothing was delivered). *)
+  latency_p95 : float;
+  injected_flits : int;
+      (** Whole-run flits that entered the network (warmup included). *)
+  ejected_flits : int;
+      (** Whole-run flits consumed at their sink. Conservation holds at
+          the cutoff: [injected_flits = ejected_flits + in_flight_flits]. *)
+  in_flight_flits : int;  (** Flits still buffered when the run stopped. *)
+  early_exit : bool;
+      (** The convergence detector stopped the run before the full cycle
+          budget (see {!run}'s [tolerance]). *)
 }
 
 val create :
-  ?config:Config.t -> Power.Model.t -> Routing.Solution.t -> t
+  ?config:Config.t -> ?arena:Arena.t -> Power.Model.t -> Routing.Solution.t -> t
 (** Builds the network, assigns link frequencies from the solution's loads
     and installs one injector per communication. Detour walks of the
-    solution are source-routed exactly like Manhattan paths.
+    solution are source-routed exactly like Manhattan paths. With [arena],
+    the big per-link buffers are recycled from the arena instead of
+    freshly allocated (bit-identical results; invalidates any previous
+    network built in the same arena).
     @raise Invalid_argument on an inconsistent configuration. *)
 
 val set_observer : t -> (event -> unit) -> unit
@@ -76,9 +109,22 @@ val schedule_link_kill : t -> cycle:int -> Noc.Mesh.link -> unit
     @raise Invalid_argument on a link outside the mesh or a negative
     cycle. *)
 
-val run : ?warmup:int -> t -> cycles:int -> report
+val run : ?warmup:int -> ?tolerance:float -> t -> cycles:int -> report
 (** Advances the simulation: [warmup] unmeasured cycles (default
-    [cycles/5]) followed by [cycles] measured ones. Can be called once per
-    network. *)
+    [cycles/5] — 0 when [cycles < 5]) followed by up to [cycles] measured
+    ones. Can be called once per network.
+
+    With [tolerance], a warmup-convergence detector may stop the measured
+    window early: every [max 128 (cycles/16)] measured cycles the
+    per-communication delivered rates and latency quantiles are probed,
+    and once every communication has reached [(1 - tolerance)] of its
+    requested rate {e and} its rate, p50 and p95 all moved by at most the
+    relative tolerance since the previous probe, the run stops with
+    [early_exit = true] and statistics over the cycles actually measured.
+    A communication starved by an overloaded link never reaches its
+    requested rate, so an overloaded network always runs the full budget.
+    @raise Invalid_argument when [cycles <= 0] (a non-positive budget used
+    to silently produce a bogus one-cycle report), when [warmup < 0], or
+    when [tolerance] is not a positive finite number. *)
 
 val pp_report : Format.formatter -> report -> unit

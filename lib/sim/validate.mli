@@ -14,9 +14,13 @@ type verdict = {
 
 val run :
   ?config:Config.t ->
+  ?arena:Network.Arena.t ->
   ?cycles:int ->
+  ?tolerance:float ->
   ?threshold:float ->
   Power.Model.t ->
   Routing.Solution.t ->
   verdict
-(** Defaults: 20_000 measured cycles, threshold 0.9. *)
+(** Defaults: 20_000 measured cycles, threshold 0.9. [arena] recycles
+    simulation buffers and [tolerance] enables the early-exit convergence
+    detector, both as in {!Network}. *)

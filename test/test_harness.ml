@@ -6,7 +6,7 @@ let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
 
 let test_figures_registered () =
-  check_int "thirteen figures" 13 (List.length Harness.Figure.all);
+  check_int "fourteen figures" 14 (List.length Harness.Figure.all);
   check_bool "find fig8b" true
     (match Harness.Figure.find "FIG8B" with
     | Some f -> f.Harness.Figure.id = "fig8b"
@@ -18,6 +18,11 @@ let test_figures_registered () =
   check_bool "find figrec" true
     (match Harness.Figure.find "figrec" with
     | Some f -> f.Harness.Figure.id = "figrec"
+    | None -> false);
+  check_bool "find figpareto" true
+    (match Harness.Figure.find "figpareto" with
+    | Some f ->
+        f.Harness.Figure.id = "figpareto" && f.Harness.Figure.sim <> None
     | None -> false);
   check_bool "unknown" true (Harness.Figure.find "fig10" = None)
 
@@ -59,6 +64,7 @@ let tiny_figure =
     scenario = None;
     paired = false;
     heuristics = None;
+    sim = None;
   }
 
 let test_runner_bookkeeping () =
@@ -466,6 +472,10 @@ let test_checkpoint_corrupt_lines_tolerated () =
           recover_sheds = 1;
           recover_rung_max = 9;
         };
+      mean_p50 = Some 12.5;
+      mean_p95 = None;
+      mean_slope = Some 0.75;
+      front_ratio = Some 1.;
     }
   in
   Harness.Checkpoint.append ~path key ~x:2. [ cell ];
@@ -682,20 +692,20 @@ let test_checkpoint_backcompat_without_counters () =
 
 let test_checkpoint_newer_version_fails_fast () =
   (* A key-matched row whose cells carry more fields than this build
-     writes (20 > 19 here) was made by a newer manroute: silently
+     writes (24 > 23 here) was made by a newer manroute: silently
      misparsing it would quietly recompute rows the user thinks are
      checkpointed, so the loader must raise the typed error instead. *)
   let path = temp_checkpoint "manroute_ckpt_newer.tsv" in
   let oc = open_out path in
   output_string oc
-    "row\tv1\ttiny\t1\t2\t0x1p+1\t1\tXY\t0x1p-1\t0x0p+0\t0x1p-2\t0x1p-7\t-\t0x0p+0\t-\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10\t11\t12\n";
+    "row\tv1\ttiny\t1\t2\t0x1p+1\t1\tXY\t0x1p-1\t0x0p+0\t0x1p-2\t0x1p-7\t-\t0x0p+0\t-\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10\t11\t12\t13\t14\t15\t16\n";
   close_out oc;
   let key = { Harness.Checkpoint.figure_id = "tiny"; seed = 1; trials = 2 } in
   (match Harness.Checkpoint.load ~path key with
   | _ -> Alcotest.fail "expected Newer_version"
   | exception Harness.Checkpoint.Newer_version { fields_per_cell; path = p; line }
     ->
-      check_int "cell arity surfaced" 20 fields_per_cell;
+      check_int "cell arity surfaced" 24 fields_per_cell;
       check_bool "offending path surfaced" true (p = path);
       check_int "offending line surfaced" 1 line;
       check_bool "printer names the remedy" true
@@ -729,7 +739,8 @@ let fabricated_obs i p =
     }
   in
   let outcome = { Routing.Best.heuristic = h; solution; report } in
-  Harness.Summary.observation ~outcomes:[ outcome ] ~best:(Some outcome)
+  Harness.Summary.observation ~pareto:[] ~outcomes:[ outcome ]
+    ~best:(Some outcome)
     ~times:[ (h.Routing.Heuristic.name, p /. 1000.) ]
     ~counters:
       [

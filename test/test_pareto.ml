@@ -1,0 +1,265 @@
+(* Tests for the Pareto design-space layer: dominance/front semantics,
+   the measured objectives against their single-objective ground truths
+   (power bit-matches Evaluate, Fig. 2's latency ordering), and the
+   figpareto campaign's bit-level invariance across worker counts, delta
+   backends and checkpoint kill-and-resume. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let km = Power.Model.kim_horowitz
+let bits = Int64.bits_of_float
+
+let obj ?(power = 1.) ?(p50 = 1.) ?(p95 = 1.) ?(slope = 1.) () =
+  { Optim.Pareto.power; p50; p95; slope }
+
+let pt name o = { Optim.Pareto.pt_name = name; pt_obj = o }
+
+(* ------------------------------------------------------------------ *)
+(* Dominance and front semantics *)
+
+let test_dominates () =
+  let d = Optim.Pareto.dominates in
+  check_bool "equal points never dominate" false (d (obj ()) (obj ()));
+  check_bool "strictly better on one axis" true
+    (d (obj ~p95:0.5 ()) (obj ()));
+  check_bool "dominated the other way" false (d (obj ()) (obj ~p95:0.5 ()));
+  check_bool "trade-off: neither dominates (a)" false
+    (d (obj ~power:0.5 ~p50:2. ()) (obj ()));
+  check_bool "trade-off: neither dominates (b)" false
+    (d (obj ()) (obj ~power:0.5 ~p50:2. ()));
+  (* Non-finite coordinates canonicalize to +infinity: a NaN latency
+     loses that axis but never poisons the relation. *)
+  check_bool "finite beats NaN" true (d (obj ()) (obj ~p50:Float.nan ()));
+  check_bool "NaN never dominates" false
+    (d (obj ~p50:Float.nan ()) (obj ()));
+  check_bool "NaN ties NaN" false
+    (d (obj ~p50:Float.nan ()) (obj ~p50:Float.nan ()))
+
+let test_front_preserves_order () =
+  let a = pt "a" (obj ~power:1. ~p50:3. ())
+  and b = pt "b" (obj ~power:3. ~p50:1. ())
+  and dominated = pt "dom" (obj ~power:4. ~p50:4. ()) in
+  (match Optim.Pareto.front [ b; dominated; a ] with
+  | [ x; y ] ->
+      check_string "input order kept (1)" "b" x.Optim.Pareto.pt_name;
+      check_string "input order kept (2)" "a" y.Optim.Pareto.pt_name
+  | l -> Alcotest.failf "expected 2 survivors, got %d" (List.length l));
+  (* Pairwise-equal points all survive: the front of a fixed list is a
+     fixed list. *)
+  let twin = pt "twin" (obj ()) in
+  check_int "equal points both survive" 2
+    (List.length (Optim.Pareto.front [ pt "t1" (obj ()); twin ]))
+
+let test_empty_and_singleton_front () =
+  check_int "empty front" 0 (List.length (Optim.Pareto.front []));
+  check_int "singleton survives" 1
+    (List.length (Optim.Pareto.front [ pt "only" (obj ()) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Measured objectives vs single-objective ground truths *)
+
+let budget cycles = { Optim.Pareto.cycles; tolerance = None; warmup = None }
+
+let test_measure_power_bitmatches_evaluate () =
+  let mesh = Noc.Mesh.square 6 in
+  let rng = Traffic.Rng.create 21 in
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n:6
+      ~weight:(Traffic.Workload.weight ~lo:200. ~hi:900.)
+  in
+  let sol = Routing.Xy.route mesh comms in
+  let report = Routing.Evaluate.solution km sol in
+  check_bool "instance is feasible" true report.Routing.Evaluate.feasible;
+  match
+    Optim.Pareto.measure ~budget:(budget 2_000) ~kills:0 km ~report sol
+  with
+  | None -> Alcotest.fail "feasible solution must measure"
+  | Some o ->
+      Alcotest.(check int64)
+        "power is Evaluate.of_loads verbatim"
+        (bits
+           (Routing.Evaluate.of_loads km (Routing.Solution.loads sol))
+             .Routing.Evaluate.total_power)
+        (bits o.Optim.Pareto.power);
+      check_bool "slope is 0 without kills" true
+        (bits o.Optim.Pareto.slope = bits 0.);
+      check_bool "finite latency quantiles" true
+        (Float.is_finite o.Optim.Pareto.p50
+        && Float.is_finite o.Optim.Pareto.p95
+        && o.Optim.Pareto.p50 <= o.Optim.Pareto.p95)
+
+let test_measure_infeasible_is_none () =
+  let mesh = Noc.Mesh.square 4 in
+  let c id =
+    Traffic.Communication.make ~id
+      ~src:(Noc.Coord.make ~row:1 ~col:1)
+      ~snk:(Noc.Coord.make ~row:1 ~col:4)
+      ~rate:3000.
+  in
+  let sol = Routing.Xy.route mesh [ c 0; c 1 ] in
+  let report = Routing.Evaluate.solution km sol in
+  check_bool "instance is infeasible" false report.Routing.Evaluate.feasible;
+  check_bool "no objectives for an infeasible routing" true
+    (Optim.Pareto.measure ~budget:(budget 1_000) ~kills:0 km ~report sol
+    = None)
+
+(* Fig. 2 golden: every heuristic on the worked 2x2 example, simulated.
+   BEST (the cheapest feasible outcome — SG's power-56 routing here) must
+   not lose to SG on simulated tail latency, and the power axis must be
+   the exact figures of the paper (128 for XY, 56 for the single-path
+   optimum). XY trades power for latency — its full-frequency links give
+   a strictly lower p95 — so the instance's front keeps both points. *)
+let test_fig2_latency_ordering () =
+  let model = Theory.Example_fig2.model in
+  let outcomes =
+    Routing.Best.run_all model Theory.Example_fig2.mesh
+      Theory.Example_fig2.comms
+  in
+  let sim (o : Routing.Best.outcome) =
+    match
+      Optim.Pareto.measure ~budget:(budget 4_000) ~kills:0 model
+        ~report:o.report o.solution
+    with
+    | Some ob -> (o.heuristic.Routing.Heuristic.name, ob)
+    | None -> Alcotest.fail "fig2 heuristic must measure"
+  in
+  let points = List.map sim outcomes in
+  let find name = List.assoc name points in
+  let xy = find "XY" and sg = find "SG" in
+  let best =
+    match Routing.Best.best_of outcomes with
+    | Some o -> snd (sim o)
+    | None -> Alcotest.fail "fig2 instance is feasible"
+  in
+  let p_xy, p_1mp, _ = Theory.Example_fig2.powers () in
+  Alcotest.(check int64)
+    "XY power is the paper's 128" (bits p_xy)
+    (bits xy.Optim.Pareto.power);
+  Alcotest.(check int64)
+    "SG power is the paper's 56" (bits p_1mp)
+    (bits sg.Optim.Pareto.power);
+  List.iter
+    (fun (name, (o : Optim.Pareto.objectives)) ->
+      check_bool (name ^ " has finite quantiles") true
+        (Float.is_finite o.p50 && Float.is_finite o.p95 && o.p50 <= o.p95))
+    points;
+  check_bool "BEST p95 <= SG p95" true
+    (best.Optim.Pareto.p95 <= sg.Optim.Pareto.p95);
+  check_bool "power-optimal trades latency: XY p95 < SG p95" true
+    (xy.Optim.Pareto.p95 < sg.Optim.Pareto.p95);
+  (* Both trade-off points survive the front. *)
+  let front =
+    Optim.Pareto.front [ pt "XY" xy; pt "BEST" best ]
+  in
+  check_int "XY and BEST are both non-dominated" 2 (List.length front)
+
+(* ------------------------------------------------------------------ *)
+(* figpareto campaign: jobs/backend invariance and kill-and-resume *)
+
+let small_figpareto = { Harness.Figure.figpareto with xs = [ 400.; 800. ] }
+
+let rows_equal (a : Harness.Runner.result) (b : Harness.Runner.result) =
+  List.length a.rows = List.length b.rows
+  && List.for_all2
+       (fun (ra : Harness.Runner.row) (rb : Harness.Runner.row) ->
+         ra.x = rb.x && ra.cells = rb.cells)
+       a.rows b.rows
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let temp_checkpoint name =
+  let path = Filename.concat (Filename.get_temp_dir_name ()) name in
+  if Sys.file_exists path then Sys.remove path;
+  path
+
+let campaign ?checkpoint backend jobs =
+  Routing.Delta.set_table_backend (Some backend);
+  Fun.protect
+    ~finally:(fun () -> Routing.Delta.set_table_backend None)
+    (fun () ->
+      Harness.Runner.run ~trials:2 ~seed:9 ~jobs ?checkpoint small_figpareto)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+  at 0
+
+let test_figpareto_invariance () =
+  let ck path backend jobs =
+    let r = campaign ~checkpoint:path backend jobs in
+    (Harness.Render.csv r, read_file path)
+  in
+  let p1 = temp_checkpoint "manroute_pareto_t1.tsv" in
+  let p2 = temp_checkpoint "manroute_pareto_t2.tsv" in
+  let p3 = temp_checkpoint "manroute_pareto_l1.tsv" in
+  let csv_t1, ck_t1 = ck p1 true 1 in
+  let csv_t2, ck_t2 = ck p2 true 2 in
+  let csv_l1, ck_l1 = ck p3 false 1 in
+  check_string "csv: jobs=1 vs jobs=2" csv_t1 csv_t2;
+  check_string "csv: table vs legacy backend" csv_t1 csv_l1;
+  check_string "checkpoint: jobs=1 vs jobs=2" ck_t1 ck_t2;
+  check_string "checkpoint: table vs legacy backend" ck_t1 ck_l1;
+  check_bool "csv has the Pareto columns" true
+    (contains csv_t1 "BEST_p50" && contains csv_t1 "BEST_p95"
+    && contains csv_t1 "BEST_slope" && contains csv_t1 "BEST_front"
+    && contains csv_t1 "SMP_p50");
+  List.iter Sys.remove [ p1; p2; p3 ]
+
+let test_figpareto_kill_and_resume () =
+  let path = temp_checkpoint "manroute_pareto_resume.tsv" in
+  let fresh = campaign true 1 in
+  ignore (campaign ~checkpoint:path true 1);
+  (* Simulate a crash after the first row: keep it, then leave a torn
+     half-written line with no newline, as a dying process would. *)
+  let ic = open_in path in
+  let first_line = input_line ic in
+  close_in ic;
+  let oc = open_out path in
+  output_string oc (first_line ^ "\nrow\tv1\tfigpareto\t9\t2\t0x1p+");
+  close_out oc;
+  let resumed = campaign ~checkpoint:path true 2 in
+  check_bool "kill-and-resume rows bit-identical" true
+    (rows_equal fresh resumed);
+  let key =
+    { Harness.Checkpoint.figure_id = "figpareto"; seed = 9; trials = 2 }
+  in
+  check_int "sidecar healed to both rows" 2
+    (List.length (Harness.Checkpoint.load ~path key));
+  (* The resumed rows round-trip the Pareto cells through the sidecar. *)
+  List.iter
+    (fun (row : Harness.Runner.row) ->
+      List.iter
+        (fun ((_, s) : string * Harness.Runner.stats) ->
+          check_bool "front ratio present on a sim figure" true
+            (s.Harness.Runner.front_ratio <> None))
+        row.cells)
+    resumed.rows;
+  Sys.remove path
+
+let () =
+  let quick name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "pareto"
+    [
+      ( "front",
+        [
+          quick "dominates" test_dominates;
+          quick "order preserved" test_front_preserves_order;
+          quick "empty and singleton" test_empty_and_singleton_front;
+        ] );
+      ( "measure",
+        [
+          quick "power bit-matches evaluate" test_measure_power_bitmatches_evaluate;
+          quick "infeasible is none" test_measure_infeasible_is_none;
+          quick "fig2 latency ordering" test_fig2_latency_ordering;
+        ] );
+      ( "campaign",
+        [
+          quick "jobs and backend invariance" test_figpareto_invariance;
+          quick "kill and resume" test_figpareto_kill_and_resume;
+        ] );
+    ]

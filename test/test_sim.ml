@@ -358,6 +358,182 @@ let test_validate_deadlock_never_passes () =
   check_bool "deadlocked" true v.report.Sim.Network.deadlocked;
   check_bool "not validated" false v.all_delivered
 
+(* ------------------------------------------------------------------ *)
+(* Run-budget validation: a non-positive budget used to silently produce
+   a bogus report, and tiny budgets need their whole window measured
+   (the default warmup is 0, not cycles/5 rounded down, when cycles < 5).
+   Both behaviours are pinned here. *)
+
+let tiny_net () =
+  let mesh = Noc.Mesh.square 3 in
+  let sol = Routing.Xy.route mesh [ comm 0 (coord 1 1) (coord 3 3) 500. ] in
+  Sim.Network.create km sol
+
+let test_run_budget_validation () =
+  Alcotest.check_raises "zero cycles"
+    (Invalid_argument "Sim.Network.run: cycles must be positive") (fun () ->
+      ignore (Sim.Network.run (tiny_net ()) ~cycles:0));
+  Alcotest.check_raises "negative cycles"
+    (Invalid_argument "Sim.Network.run: cycles must be positive") (fun () ->
+      ignore (Sim.Network.run (tiny_net ()) ~cycles:(-5)));
+  Alcotest.check_raises "negative warmup"
+    (Invalid_argument "Sim.Network.run: negative warmup") (fun () ->
+      ignore (Sim.Network.run ~warmup:(-1) (tiny_net ()) ~cycles:100));
+  Alcotest.check_raises "zero tolerance"
+    (Invalid_argument "Sim.Network.run: tolerance must be positive")
+    (fun () ->
+      ignore (Sim.Network.run ~tolerance:0. (tiny_net ()) ~cycles:100));
+  Alcotest.check_raises "nan tolerance"
+    (Invalid_argument "Sim.Network.run: tolerance must be positive")
+    (fun () ->
+      ignore (Sim.Network.run ~tolerance:Float.nan (tiny_net ()) ~cycles:100))
+
+let test_tiny_budget_measures_every_cycle () =
+  let r = Sim.Network.run (tiny_net ()) ~cycles:3 in
+  check_int "three measured cycles" 3 r.Sim.Network.cycles;
+  check_bool "no early exit without tolerance" false r.Sim.Network.early_exit;
+  let r10 = Sim.Network.run (tiny_net ()) ~cycles:10 in
+  check_int "full window at 10 cycles" 10 r10.Sim.Network.cycles
+
+(* ------------------------------------------------------------------ *)
+(* Differential oracle: randomized cross-checks of the simulator's
+   conservation law, rate convergence and bit-level determinism. *)
+
+let sim_instance_gen =
+  QCheck.Gen.(triple (int_range 0 100_000) (int_range 3 6) (int_range 1 8))
+
+let sim_instance (seed, p, n) =
+  let mesh = Noc.Mesh.square p in
+  let rng = Traffic.Rng.create seed in
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n
+      ~weight:(Traffic.Workload.weight ~lo:200. ~hi:900.)
+  in
+  (mesh, comms)
+
+(* Marshalling keeps NaNs and float bits intact, so equal digests mean
+   bit-identical reports. *)
+let report_digest (r : Sim.Network.report) =
+  Digest.string (Marshal.to_string r [])
+
+let prop_flit_conservation =
+  QCheck.Test.make ~name:"injected = ejected + in-flight at the cutoff"
+    ~count:25
+    (QCheck.make sim_instance_gen)
+    (fun ((seed, _, _) as params) ->
+      let mesh, comms = sim_instance params in
+      let sol = Routing.Xy.route mesh comms in
+      let net = Sim.Network.create km sol in
+      (* Half the cases exercise the early-exit path: conservation must
+         hold at whatever cutoff the detector picks. *)
+      let tolerance = if seed mod 2 = 0 then Some 0.15 else None in
+      let r = Sim.Network.run ?tolerance net ~cycles:2_000 in
+      r.Sim.Network.injected_flits
+      = r.Sim.Network.ejected_flits + r.Sim.Network.in_flight_flits)
+
+let prop_delivered_rate_converges =
+  QCheck.Test.make
+    ~name:"feasible routing converges to the requested rates" ~count:12
+    (QCheck.make sim_instance_gen)
+    (fun params ->
+      let mesh, comms = sim_instance params in
+      let sol = Routing.Xy.route mesh comms in
+      QCheck.assume
+        (Routing.Evaluate.solution km sol).Routing.Evaluate.feasible;
+      let net = Sim.Network.create km sol in
+      let r = Sim.Network.run net ~cycles:6_000 in
+      List.for_all
+        (fun (s : Sim.Network.comm_stats) ->
+          s.delivered_rate >= 0.85 *. s.requested_rate)
+        r.Sim.Network.comms)
+
+let prop_identical_seeds_identical_reports =
+  QCheck.Test.make
+    ~name:"identical instances produce bit-identical reports" ~count:10
+    (QCheck.make sim_instance_gen)
+    (fun params ->
+      let mesh, comms = sim_instance params in
+      let run_once arena =
+        let sol = Routing.Xy.route mesh comms in
+        let net = Sim.Network.create ?arena km sol in
+        report_digest (Sim.Network.run ~tolerance:0.1 net ~cycles:2_000)
+      in
+      let local = run_once None in
+      let arena = run_once (Some (Sim.Network.Arena.create ())) in
+      let spawned = Domain.join (Domain.spawn (fun () -> run_once None)) in
+      String.equal local arena && String.equal local spawned)
+
+(* ------------------------------------------------------------------ *)
+(* Warmup-convergence early exit *)
+
+let test_early_exit_matches_full_run () =
+  let mesh = Noc.Mesh.square 6 in
+  let rng = Traffic.Rng.create 42 in
+  let comms =
+    Traffic.Workload.uniform rng mesh ~n:6
+      ~weight:(Traffic.Workload.weight ~lo:200. ~hi:800.)
+  in
+  let sol = Routing.Xy.route mesh comms in
+  check_bool "instance is feasible" true
+    (Routing.Evaluate.solution km sol).Routing.Evaluate.feasible;
+  let full = Sim.Network.run (Sim.Network.create km sol) ~cycles:12_000 in
+  let early =
+    Sim.Network.run ~tolerance:0.1 (Sim.Network.create km sol) ~cycles:12_000
+  in
+  check_bool "converged run exits early" true early.Sim.Network.early_exit;
+  check_bool "fewer cycles measured" true
+    (early.Sim.Network.cycles < full.Sim.Network.cycles);
+  let close a b = Float.abs (a -. b) <= 0.2 *. Float.max 1. (Float.abs b) in
+  check_bool "p50 within tolerance of the full run" true
+    (close early.Sim.Network.latency_p50 full.Sim.Network.latency_p50);
+  check_bool "p95 within tolerance of the full run" true
+    (close early.Sim.Network.latency_p95 full.Sim.Network.latency_p95)
+
+let test_overload_never_exits_early () =
+  (* A starved communication never reaches its requested rate, so the
+     detector must let the run use its whole budget. *)
+  let mesh = Noc.Mesh.square 8 in
+  let comms =
+    [ comm 0 (coord 1 1) (coord 1 5) 3000.; comm 1 (coord 1 1) (coord 1 5) 3000. ]
+  in
+  let sol = Routing.Xy.route mesh comms in
+  let net = Sim.Network.create km sol in
+  let r = Sim.Network.run ~tolerance:0.25 net ~cycles:8_000 in
+  check_bool "no early exit under overload" false r.Sim.Network.early_exit;
+  check_int "full budget measured" 8_000 r.Sim.Network.cycles
+
+let test_arena_reuse_bit_identical () =
+  let mesh = Noc.Mesh.square 5 in
+  let rng = Traffic.Rng.create 7 in
+  let mk () =
+    Traffic.Workload.uniform rng mesh ~n:5 ~weight:Traffic.Workload.mixed
+  in
+  let a = mk () and b = mk () in
+  let fresh comms =
+    let net = Sim.Network.create km (Routing.Xy.route mesh comms) in
+    report_digest (Sim.Network.run ~tolerance:0.1 net ~cycles:3_000)
+  in
+  let fresh_a = fresh a and fresh_b = fresh b in
+  let arena = Sim.Network.Arena.create () in
+  let reused comms =
+    let net = Sim.Network.create ~arena km (Routing.Xy.route mesh comms) in
+    report_digest (Sim.Network.run ~tolerance:0.1 net ~cycles:3_000)
+  in
+  check_bool "first arena build matches fresh" true
+    (String.equal (reused a) fresh_a);
+  check_bool "recycled buffers match fresh" true
+    (String.equal (reused b) fresh_b);
+  match
+    Sim.Batch.run ~tolerance:0.1 ~cycles:3_000 km
+      [ Routing.Xy.route mesh a; Routing.Xy.route mesh b ]
+  with
+  | [ ra; rb ] ->
+      check_bool "batch head bit-identical" true
+        (String.equal (report_digest ra) fresh_a);
+      check_bool "batch tail bit-identical" true
+        (String.equal (report_digest rb) fresh_b)
+  | _ -> Alcotest.fail "two reports expected"
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   let slow name f = Alcotest.test_case name `Slow f in
@@ -401,5 +577,22 @@ let () =
           quick "link utilization" test_link_utilization_exposed;
           quick "run once" test_run_once_only;
           slow "all heuristics validate" test_all_heuristics_validate_on_easy_instance;
+        ] );
+      ( "budget",
+        [
+          quick "validation" test_run_budget_validation;
+          quick "tiny budgets measured" test_tiny_budget_measures_every_cycle;
+        ] );
+      ( "early exit",
+        [
+          quick "matches full run" test_early_exit_matches_full_run;
+          quick "overload runs full budget" test_overload_never_exits_early;
+          quick "arena reuse bit-identical" test_arena_reuse_bit_identical;
+        ] );
+      ( "differential oracle",
+        [
+          QCheck_alcotest.to_alcotest prop_flit_conservation;
+          QCheck_alcotest.to_alcotest prop_delivered_rate_converges;
+          QCheck_alcotest.to_alcotest prop_identical_seeds_identical_reports;
         ] );
     ]
