@@ -14,7 +14,8 @@
    MANROUTE_BENCH=smp runs only the E22 s-MP sweep;
    MANROUTE_BENCH=pf runs only the E23 PathFinder sweep;
    MANROUTE_BENCH=recover runs only the E24 recovery sweep;
-   MANROUTE_BENCH=sim runs only the E26 campaign-simulator benchmark. *)
+   MANROUTE_BENCH=sim runs only the E26 campaign-simulator benchmark;
+   MANROUTE_BENCH=serve runs only the E27 online-serving sweep. *)
 
 let section title =
   Format.printf "@.%s@.%s@." title (String.make (String.length title) '=')
@@ -835,6 +836,105 @@ let recover_sweep () =
            ]))
     [ 2; 4; 8; 16; 32 ]
 
+(* E27: the online routing service — power over time vs arrival rate.
+   Each instance (seed 717, 20 mixed communications on the 8x8 CMP) is
+   served twice as the identical arrival/departure stream: once with
+   idle-link switch-off and once always-awake. Sleeping never changes a
+   routing decision, so the two runs admit the same routes and the
+   switch-off run's always-awake column must bit-match the disabled
+   run's mean power; the run that actually sleeps must then be strictly
+   cheaper — both are asserted, loudly. Columns: mean power over time
+   with switch-off, the always-awake baseline, the saved fraction, the
+   p95 of the per-event work proxy, and sheds/sleeps per instance. *)
+
+let serve_sweep () =
+  section "E27 | Online serving: power over time vs arrival rate (8x8, 20 mixed)";
+  let mesh = Noc.Mesh.square 8 in
+  let model = Power.Model.kim_horowitz in
+  let rng = Traffic.Rng.create 717 in
+  let trials = Int.min 25 (Harness.Runner.default_trials ()) in
+  let instances =
+    List.init trials (fun _ ->
+        Traffic.Workload.uniform rng mesh ~n:20 ~weight:Traffic.Workload.mixed)
+  in
+  Format.printf
+    "  %d instances, each served as the same stream with switch-off on and \
+     off@.@.  %6s %14s %14s %7s %10s %10s %12s@."
+    trials "rate" "mean power" "always-awake" "saved" "p95 work" "shed/inst"
+    "sleeps/inst";
+  let ok = ref true in
+  instrumented ~bench:"E27"
+    ~config:
+      [
+        ("mesh", J.Str "8x8");
+        ("seed", J.Int 717);
+        ("n", J.Int 20);
+        ("instances", J.Int trials);
+      ]
+  @@ fun push ->
+  List.iter
+    (fun rate ->
+      let power = ref 0. and nosleep = ref 0. in
+      let powers = ref [] in
+      let p95 = ref 0. and sheds = ref 0 and sleeps = ref 0 in
+      List.iter
+        (fun comms ->
+          ignore (Optim.Online.engine ~rate model mesh comms);
+          let s = Option.get (Optim.Online.take_session ()) in
+          ignore (Optim.Online.engine ~rate ~sleep:false model mesh comms);
+          let s0 = Option.get (Optim.Online.take_session ()) in
+          (* Same stream, same admissions: the sleeping run's
+             always-awake column is the disabled run's mean power. *)
+          if s.Optim.Online.mean_power_nosleep <> s0.Optim.Online.mean_power
+          then begin
+            Format.printf
+              "  MISMATCH at rate %g: always-awake %.6f vs disabled run \
+               %.6f@."
+              rate s.Optim.Online.mean_power_nosleep
+              s0.Optim.Online.mean_power;
+            ok := false
+          end;
+          if
+            s.Optim.Online.s_sleeps > 0
+            && not (s.Optim.Online.mean_power < s0.Optim.Online.mean_power)
+          then begin
+            Format.printf
+              "  NOT CHEAPER at rate %g: switch-off %.6f vs always-awake \
+               %.6f@."
+              rate s.Optim.Online.mean_power s0.Optim.Online.mean_power;
+            ok := false
+          end;
+          power := !power +. s.Optim.Online.mean_power;
+          nosleep := !nosleep +. s0.Optim.Online.mean_power;
+          powers := s.Optim.Online.mean_power :: !powers;
+          p95 := !p95 +. s.Optim.Online.p95_work;
+          sheds := !sheds + s.Optim.Online.s_shed;
+          sleeps := !sleeps + s.Optim.Online.s_sleeps)
+        instances;
+      let m = float_of_int (max 1 trials) in
+      let saved = 1. -. (!power /. Float.max 1e-9 !nosleep) in
+      Format.printf
+        "  %6g %11.1f mW %11.1f mW %6.1f%% %10.0f %10.2f %12.1f@." rate
+        (!power /. m) (!nosleep /. m) (100. *. saved) (!p95 /. m)
+        (float_of_int !sheds /. m)
+        (float_of_int !sleeps /. m);
+      push
+        (J.Obj
+           [
+             ("rate", J.Float rate);
+             ("mean_power_mw", J.Float (!power /. m));
+             ("median_power_mw", J.Float (median !powers));
+             ("mean_power_nosleep_mw", J.Float (!nosleep /. m));
+             ("saved_ratio", J.Float saved);
+             ("p95_work", J.Float (!p95 /. m));
+             ("shed_per_instance", J.Float (float_of_int !sheds /. m));
+             ("sleeps_per_instance", J.Float (float_of_int !sleeps /. m));
+           ]))
+    [ 2.; 4.; 8.; 16. ];
+  Format.printf "  switch-off strictly cheaper on every sleeping run: %s@."
+    (if !ok then "yes" else "NO");
+  if not !ok then exit 1
+
 (* E13: the paper's open problem — single source/destination pair, how much
    can single-path routing gain, and how close is it to max-MP? *)
 
@@ -1307,6 +1407,11 @@ let () =
     sim_bench ();
     exit 0
   end;
+  (* MANROUTE_BENCH=serve: run only the E27 online-serving sweep. *)
+  if Sys.getenv_opt "MANROUTE_BENCH" = Some "serve" then begin
+    serve_sweep ();
+    exit 0
+  end;
   Format.printf "manroute reproduction harness (trials/point: %d, jobs: %d)@."
     (Harness.Runner.default_trials ())
     (Harness.Pool.default_jobs ());
@@ -1334,6 +1439,7 @@ let () =
   smp_sweep ();
   pf_sweep ();
   recover_sweep ();
+  serve_sweep ();
   mesh_scaling ();
   weight_band_ablation ();
   delta_bench ();

@@ -112,6 +112,7 @@ let () =
   Routing.Heuristic.register Optim.Smp.find;
   Routing.Heuristic.register Optim.Pathfinder.find;
   Routing.Heuristic.register Optim.Recover.find;
+  Routing.Heuristic.register Optim.Online.find;
   Routing.Heuristic.register (fun name ->
       match String.uppercase_ascii name with
       | "SA" ->
@@ -971,6 +972,189 @@ let recover_cmd =
        ~doc:"Survive a live fault-event schedule with incremental repair")
     term
 
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let pos_float_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f > 0. && Float.is_finite f -> Ok f
+      | Some _ -> Error (`Msg (Printf.sprintf "%s is not a positive number" s))
+      | None -> Error (`Msg (Printf.sprintf "%S is not a number" s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  let nonneg_float_conv =
+    let parse s =
+      match float_of_string_opt s with
+      | Some f when f >= 0. && Float.is_finite f -> Ok f
+      | Some _ -> Error (`Msg (Printf.sprintf "%s is negative" s))
+      | None -> Error (`Msg (Printf.sprintf "%S is not a number" s))
+    in
+    Arg.conv (parse, Format.pp_print_float)
+  in
+  let rate_t =
+    Arg.(
+      value
+      & opt pos_float_conv Optim.Online.default_rate
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Mean arrival rate in communications per unit holding time — \
+             the steady-state concurrency the service carries (default 8; \
+             must be positive).")
+  in
+  let events_t =
+    Arg.(
+      value
+      & opt nonneg_int_conv Optim.Online.default_churn
+      & info [ "events" ] ~docv:"N"
+          ~doc:
+            "Number of churn arrivals to stream through the service on top \
+             of the resident workload (default 40; each brings a matching \
+             departure, so the stream fully drains).")
+  in
+  let idle_epochs_t =
+    Arg.(
+      value
+      & opt pos_int_conv Optim.Online.default_idle_epochs
+      & info [ "idle-epochs" ] ~docv:"K"
+          ~doc:
+            "Switch-off hysteresis: a link sleeps after K consecutive \
+             events at zero occupancy (default 2; must be positive).")
+  in
+  let wake_penalty_t =
+    Arg.(
+      value
+      & opt (some nonneg_float_conv) None
+      & info [ "wake-penalty" ] ~docv:"MW"
+          ~doc:
+            "One-shot power charge when a sleeping link wakes (default: \
+             the model's per-link leakage; must be non-negative).")
+  in
+  let profile_t =
+    Arg.(
+      value
+      & opt (enum Traffic.Trace.profiles) Traffic.Trace.Poisson
+      & info [ "profile" ]
+          ~doc:
+            "Churn arrival process: $(b,poisson), $(b,diurnal), $(b,burst) \
+             or $(b,hotspot).")
+  in
+  let no_sleep_t =
+    Arg.(
+      value & flag
+      & info [ "no-sleep" ]
+          ~doc:
+            "Disable idle-link switch-off: idle links keep paying leakage \
+             (the always-awake baseline the saved column is measured \
+             against).")
+  in
+  let run mesh model seed n weights file rate events idle_epochs wake_penalty
+      profile no_sleep =
+    match load_instance mesh seed n weights file with
+    | Error m ->
+        Printf.eprintf "error: %s\n" m;
+        exit 1
+    | Ok (mesh, comms) ->
+        let rng = Traffic.Rng.of_key "cli-serve" [ Int64.of_int seed ] in
+        let resident = Traffic.Trace.persistent rng ~rate comms in
+        let id_base =
+          1
+          + List.fold_left
+              (fun m (c : Traffic.Communication.t) -> max m c.id)
+              (-1) comms
+        in
+        let lo, hi = weights in
+        let churn =
+          Traffic.Trace.generate ~id_base rng mesh ~profile ~arrivals:events
+            ~rate ~weight:(Traffic.Workload.weight ~lo ~hi)
+        in
+        let trace = Traffic.Trace.merge resident churn in
+        let t =
+          Optim.Online.create ?wake_penalty ~idle_epochs ~sleep:(not no_sleep)
+            model mesh
+        in
+        Format.printf
+          "serving %d resident + %d churn communications on %a, %a (%a \
+           arrivals at rate %g, switch-off %s)@."
+          (List.length comms) events Noc.Mesh.pp mesh Power.Model.pp model
+          Traffic.Trace.pp_profile profile rate
+          (if no_sleep then "off" else "on");
+        let latencies = ref [] in
+        let ops =
+          List.map
+            (fun ev ->
+              let t0 = Harness.Runner.now_s () in
+              let op = Optim.Online.step t ev in
+              latencies :=
+                ((Harness.Runner.now_s () -. t0) *. 1e3) :: !latencies;
+              op)
+            trace
+        in
+        List.iter
+          (fun (op : Optim.Online.op) ->
+            Format.printf
+              "event %3d at %6.2f: %-12s rung %d | live %2d | power %8.1f mW \
+               (dyn %.1f, leak %.1f, idle %.1f, saved %.1f)%s@."
+              op.seq op.time
+              (match op.kind with
+              | Traffic.Trace.Arrive c ->
+                  Printf.sprintf "arrive %d%s" c.Traffic.Communication.id
+                    (if op.admitted then "" else " SHED")
+              | Traffic.Trace.Depart id -> Printf.sprintf "depart %d" id)
+              op.rung op.live
+              (Optim.Online.split_total op.power)
+              op.power.dynamic op.power.active_leak op.power.idle_leak
+              op.power.saved_leak
+              (match (op.wakes, op.sleeps) with
+              | 0, 0 -> ""
+              | w, s -> Printf.sprintf " | wakes %d sleeps %d" w s);
+            List.iter
+              (fun (sh : Optim.Online.shed) ->
+                Format.printf "          shed %a (%a)@."
+                  Traffic.Communication.pp sh.Optim.Online.comm
+                  Optim.Recover.pp_reason sh.Optim.Online.reason)
+              op.shed_now;
+            List.iter
+              (fun c ->
+                Format.printf "          readmitted %a@."
+                  Traffic.Communication.pp c)
+              op.readmitted)
+          ops;
+        let s = Optim.Online.session t in
+        let p50, p95 =
+          Harness.Summary.quantiles (Array.of_list (List.rev !latencies))
+        in
+        Format.printf
+          "served %d events (%d arrivals, %d departures): %d admitted, %d \
+           shed, %d readmitted | peak live %d, final live %d, rung max %d@."
+          s.ops s.s_arrivals s.s_departures s.s_admitted s.s_shed
+          s.s_readmitted s.peak_live s.final_live s.rung_max;
+        Format.printf
+          "power over time: %.1f mW mean (always-awake %.1f mW, saved \
+           %.1f%%) | %d wakes, %d sleeps@."
+          s.mean_power s.mean_power_nosleep
+          (100. *. s.saved_ratio)
+          s.s_wakes s.s_sleeps;
+        Format.printf
+          "latency: p50 %.3f ms, p95 %.3f ms per event (work proxy p50 \
+           %.0f, p95 %.0f delta evals)@."
+          p50 p95 s.p50_work s.p95_work;
+        Format.printf "final: %a@." Routing.Evaluate.pp_report s.final
+  in
+  let term =
+    Term.(
+      const run $ mesh_t $ model_t $ seed_t $ n_t $ weight_t $ file_t
+      $ rate_t $ events_t $ idle_epochs_t $ wake_penalty_t $ profile_t
+      $ no_sleep_t)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a streaming arrival/departure trace with idle-link \
+          switch-off")
+    term
+
 (* ---------------- pattern ---------------- *)
 
 let pattern_cmd =
@@ -1139,5 +1323,5 @@ let () =
        (Cmd.group info
           [
             route_cmd; generate_cmd; figure_cmd; pareto_cmd; inspect_cmd;
-            recover_cmd; pattern_cmd; theory_cmd; optimal_cmd;
+            recover_cmd; serve_cmd; pattern_cmd; theory_cmd; optimal_cmd;
           ]))

@@ -14,14 +14,17 @@ type cell = {
   mean_p95 : float option;
   mean_slope : float option;
   front_ratio : float option;
+  srv_power : float option;
+  srv_saved : float option;
+  srv_p95 : float option;
 }
 
 let magic = "row"
 let version = "v1"
 
-(* Name + 7 stat fields + 11 counter ints + 4 Pareto fields: what [line]
-   writes today. *)
-let max_fields_per_cell = 23
+(* Name + 7 stat fields + 11 counter ints + 4 Pareto fields + 3 serve
+   fields: what [line] writes today. *)
+let max_fields_per_cell = 26
 
 (* Floats travel as "%h" hex literals: [float_of_string] round-trips them
    bit-exactly, which is what lets a resumed campaign reproduce the very
@@ -76,6 +79,9 @@ let line key ~x cells =
              opt_float_field c.mean_p95;
              opt_float_field c.mean_slope;
              opt_float_field c.front_ratio;
+             opt_float_field c.srv_power;
+             opt_float_field c.srv_saved;
+             opt_float_field c.srv_p95;
            ]))
     cells;
   Buffer.contents buf
@@ -181,16 +187,18 @@ let parse_cells ~path ~line n fields =
   (* Checkpoints written before the telemetry layer carry 8 fields per
      cell; the telemetry layer appended five counter ints (13), the
      delta engine a sixth (14), the PathFinder engine two more (16), the
-     recovery engine three more (19) and the Pareto layer four optional
-     floats (23). Same magic, same version: the arity is read off the
-     total field count, so old resume files keep loading — missing
-     counters parse as zero and missing Pareto cells as absent. A row
+     recovery engine three more (19), the Pareto layer four optional
+     floats (23) and the serve layer three more (26). Same magic, same
+     version: the arity is read off the total field count, so old resume
+     files keep loading — missing counters parse as zero and missing
+     Pareto/serve cells as absent. A row
      whose cells carry {e more} fields than this build writes was made by
      a newer build: silently misparsing (or silently dropping) it would
      quietly recompute rows the user thinks are checkpointed, so that
      fails fast instead. *)
   let arity =
     match List.length fields with
+    | len when n > 0 && len = n * 26 -> `Serve3
     | len when n > 0 && len = n * 23 -> `Pareto4
     | len when n > 0 && len = n * 19 -> `Counters11
     | len when n > 0 && len = n * 16 -> `Counters8
@@ -199,7 +207,7 @@ let parse_cells ~path ~line n fields =
     | len when len = n * 8 -> `NoCounters
     | len when n > 0 && len mod n = 0 && len / n > max_fields_per_cell ->
         raise (Newer_version { path; line; fields_per_cell = len / n })
-    | _ -> `Pareto4 (* wrong shape either way; fail in the loop below *)
+    | _ -> `Serve3 (* wrong shape either way; fail in the loop below *)
   in
   let rec go acc k = function
     | [] when k = 0 -> Some (List.rev acc)
@@ -222,7 +230,7 @@ let parse_cells ~path ~line n fields =
               | p :: d :: b :: ds :: fc :: de :: pi :: pr :: tl ->
                   (parse_counters ~de ~pi ~pr p d b ds fc, tl)
               | _ -> (None, tl))
-          | `Counters11 | `Pareto4 -> (
+          | `Counters11 | `Pareto4 | `Serve3 -> (
               match tl with
               | p :: d :: b :: ds :: fc :: de :: pi :: pr :: re :: rs :: rr
                 :: tl ->
@@ -231,7 +239,7 @@ let parse_cells ~path ~line n fields =
         in
         let pareto, tl =
           match arity with
-          | `Pareto4 -> (
+          | `Pareto4 | `Serve3 -> (
               match tl with
               | p50 :: p95 :: sl :: fr :: tl -> (
                   match
@@ -245,6 +253,21 @@ let parse_cells ~path ~line n fields =
               | _ -> (None, tl))
           | _ -> (Some (None, None, None, None), tl)
         in
+        let serve, tl =
+          match arity with
+          | `Serve3 -> (
+              match tl with
+              | sp :: ss :: sq :: tl -> (
+                  match
+                    ( parse_opt_float sp,
+                      parse_opt_float ss,
+                      parse_opt_float sq )
+                  with
+                  | Some a, Some b, Some c -> (Some (a, b, c), tl)
+                  | _ -> (None, tl))
+              | _ -> (None, tl))
+          | _ -> (Some (None, None, None), tl)
+        in
         match
           ( parse_float fail,
             parse_float err,
@@ -254,7 +277,8 @@ let parse_cells ~path ~line n fields =
             parse_float detour,
             parse_msg msg,
             counters,
-            pareto )
+            pareto,
+            serve )
         with
         | ( Some failure_ratio,
             Some error_ratio,
@@ -264,7 +288,8 @@ let parse_cells ~path ~line n fields =
             Some mean_detour_hops,
             Some error_example,
             Some counters,
-            Some (mean_p50, mean_p95, mean_slope, front_ratio) ) ->
+            Some (mean_p50, mean_p95, mean_slope, front_ratio),
+            Some (srv_power, srv_saved, srv_p95) ) ->
             go
               ({
                  name;
@@ -280,6 +305,9 @@ let parse_cells ~path ~line n fields =
                  mean_p95;
                  mean_slope;
                  front_ratio;
+                 srv_power;
+                 srv_saved;
+                 srv_p95;
                }
               :: acc)
               (k - 1) tl

@@ -43,6 +43,13 @@ type cell = {
           after the counters. Checkpoints written before the Pareto layer
           existed load with all four absent — the same arity tolerance as
           the counters. *)
+  srv_power : float option;
+  srv_saved : float option;
+  srv_p95 : float option;
+      (** Serve aggregates (mean power over time, switch-off saving
+          ratio, p95 per-op work), serialized as three optional hex-float
+          fields after the Pareto block. Checkpoints written before the
+          online service existed load with all three absent. *)
 }
 (** Serialized form of one [Runner.stats] cell. *)
 

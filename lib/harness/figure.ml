@@ -248,6 +248,40 @@ let figpareto =
           });
   }
 
+(* Serve sweep (beyond the paper): the workload is routed {e as a
+   stream} — Poisson arrivals of the resident communications merged with
+   a draining churn stream — and the x axis sweeps the arrival rate,
+   i.e. the steady-state concurrency the online engine must hold
+   (Little's law). Paired like figrec — trial [t] draws the same 20
+   mixed communications at every rate, and the SRV engines key their
+   traces off the workload itself (see [Optim.Online.engine]), so only
+   the stream tempo varies along the row. Two served cells ride the
+   sweep: SRV with idle-link switch-off and SRV0 with it disabled; the
+   [*_srv_power] / [*_srv_saved] / [*_srv_p95] CSV columns carry the
+   power-over-time, saving-ratio and work-tail aggregates, and the
+   batch heuristics stay flat as the offline baseline. *)
+let figserve =
+  {
+    id = "figserve";
+    title = "Fig. SRV: serve sweep, 20 mixed comms vs arrival rate";
+    xlabel = "arrival rate (communications per unit time)";
+    xs = [ 2.; 4.; 8.; 16. ];
+    generate =
+      (fun rng _ ->
+        Traffic.Workload.uniform rng mesh ~n:20 ~weight:Traffic.Workload.mixed);
+    scenario = None;
+    paired = true;
+    heuristics =
+      Some
+        (fun x ->
+          Routing.Heuristic.all
+          @ [
+              Optim.Online.heuristic ~name:"SRV" ~rate:x ();
+              Optim.Online.heuristic ~name:"SRV0" ~rate:x ~sleep:false ();
+            ]);
+    sim = None;
+  }
+
 let all =
   [
     fig7a;
@@ -263,6 +297,7 @@ let all =
     figs;
     figpf;
     figrec;
+    figserve;
     figpareto;
   ]
 

@@ -115,6 +115,17 @@ val figrec : t
     [*_recover_sheds] / [*_recover_rung_max] CSV columns expose the
     escalation ladder's work. *)
 
+val figserve : t
+(** Serve sweep: 20 mixed communications on the 8x8 CMP, routed {e as a
+    stream} while the x axis raises the arrival rate through 2, 4, 8, 16
+    ({!Optim.Online}; cell [SRV] with idle-link switch-off, [SRV0] with
+    it disabled) next to the six single-path cells. Paired: the same
+    workloads at every rate, and the SRV engines derive their traces
+    from the workload itself, so only the stream tempo moves along x.
+    The [*_srv_power] / [*_srv_saved] / [*_srv_p95] CSV columns carry
+    power-over-time, the switch-off saving ratio and the p95 per-event
+    work proxy. *)
+
 val figpareto : t
 (** Pareto sweep: 12 mixed communications on the 8x8 CMP while the x
     axis raises the simulator's measured-cycle budget through 500, 1000,
@@ -127,7 +138,7 @@ val figpareto : t
 
 val all : t list
 (** The nine paper figures in paper order, then {!figf}, {!figs},
-    {!figpf}, {!figrec} and {!figpareto}. *)
+    {!figpf}, {!figrec}, {!figserve} and {!figpareto}. *)
 
 val find : string -> t option
 (** Lookup by [id] (case-insensitive). *)

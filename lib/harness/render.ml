@@ -35,7 +35,9 @@ let csv (r : Runner.result) =
         (Printf.sprintf ",%s_recover_events,%s_recover_sheds,%s_recover_rung_max"
            name name name);
       Buffer.add_string buf
-        (Printf.sprintf ",%s_p50,%s_p95,%s_slope,%s_front" name name name name))
+        (Printf.sprintf ",%s_p50,%s_p95,%s_slope,%s_front" name name name name);
+      Buffer.add_string buf
+        (Printf.sprintf ",%s_srv_power,%s_srv_saved,%s_srv_p95" name name name))
     names;
   Buffer.add_char buf '\n';
   List.iter
@@ -70,7 +72,12 @@ let csv (r : Runner.result) =
           Buffer.add_string buf (opt s.mean_p50);
           Buffer.add_string buf (opt s.mean_p95);
           Buffer.add_string buf (opt s.mean_slope);
-          Buffer.add_string buf (opt s.front_ratio))
+          Buffer.add_string buf (opt s.front_ratio);
+          (* Serve columns: empty for heuristics that are not online
+             services — only the SRV cells of figserve fill them. *)
+          Buffer.add_string buf (opt s.srv_power);
+          Buffer.add_string buf (opt s.srv_saved);
+          Buffer.add_string buf (opt s.srv_p95))
         row.cells;
       Buffer.add_char buf '\n')
     r.rows;

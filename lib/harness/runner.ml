@@ -11,6 +11,9 @@ type stats = {
   mean_p95 : float option;
   mean_slope : float option;
   front_ratio : float option;
+  srv_power : float option;
+  srv_saved : float option;
+  srv_p95 : float option;
 }
 
 type row = { x : float; cells : (string * stats) list }
@@ -54,6 +57,13 @@ type simobs = {
   so_front : bool;
 }
 
+(* What the online service measured for one served cell: mean power over
+   time (the quantity the switch-off exists to lower), the fraction of
+   the always-awake power it saved, and the p95 of the per-event
+   [delta_evals] work proxy. All three are deterministic functions of
+   the trial rng key — jobs- and backend-invariant like the rest. *)
+type serveobs = { sv_power : float; sv_saved : float; sv_p95 : float }
+
 (* What one trial contributes to one cell. Immutable: trials are evaluated
    on worker domains and folded afterwards in trial order, so the floating
    sums associate identically for every job count. *)
@@ -65,6 +75,7 @@ type contribution =
       power : float;
       detour : int;
       sim : simobs option;
+      serve : serveobs option;
     }
 
 type trial = {
@@ -138,6 +149,7 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
   | Ok (comms, fault, sim_fault) ->
       let times = ref [] in
       let counts = ref [] in
+      let serves = ref [] in
       let attempts =
         List.map
           (fun (h : Routing.Heuristic.t) ->
@@ -146,6 +158,10 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
             let delta () =
               Routing.Metrics.diff (Routing.Metrics.snapshot ()) before
             in
+            (* Clear any stale serve-session stash: the trial runs whole
+               on one domain, so whatever [take_session] yields after the
+               run belongs to this heuristic alone. *)
+            ignore (Optim.Online.take_session ());
             let t0 = now_s () in
             match
               let solution = h.run ?fault model Figure.mesh comms in
@@ -160,9 +176,13 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
             | outcome ->
                 times := (h.name, now_s () -. t0) :: !times;
                 counts := (h.name, delta ()) :: !counts;
+                (match Optim.Online.take_session () with
+                | Some s -> serves := (h.name, s) :: !serves
+                | None -> ());
                 (h.name, Ok outcome)
             | exception e ->
                 counts := (h.name, delta ()) :: !counts;
+                ignore (Optim.Online.take_session ());
                 (h.name, Error (Printexc.to_string e)))
           heuristics
       in
@@ -227,7 +247,17 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
             })
           (List.assoc_opt name sims)
       in
-      let contribution ~sim (report : Routing.Evaluate.report option) =
+      let serveobs_for name =
+        Option.map
+          (fun (s : Optim.Online.session) ->
+            {
+              sv_power = s.mean_power;
+              sv_saved = s.saved_ratio;
+              sv_p95 = s.p95_work;
+            })
+          (List.assoc_opt name !serves)
+      in
+      let contribution ~sim ~serve (report : Routing.Evaluate.report option) =
         match (report, best_power) with
         | Some r, Some pb when r.feasible ->
             Feasible
@@ -236,6 +266,7 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
                 power = r.total_power;
                 detour = r.detour_hops;
                 sim;
+                serve;
               }
         | _ -> Fail
       in
@@ -244,20 +275,25 @@ let run_trial ~model ~heuristics ~figure ~x ~seed t =
           (fun (name, r) ->
             match r with
             | Ok (o : Routing.Best.outcome) ->
-                (name, contribution ~sim:(simobs_for name) (Some o.report))
+                ( name,
+                  contribution ~sim:(simobs_for name)
+                    ~serve:(serveobs_for name) (Some o.report) )
             | Error msg -> (name, Errored msg))
           attempts
         @ [
             ( "BEST",
               (* The BEST cell mirrors its winner's measurement — same
-                 point, same front membership. *)
-              contribution
-                ~sim:
-                  (match best with
-                  | Some (o : Routing.Best.outcome) ->
-                      simobs_for o.heuristic.Routing.Heuristic.name
-                  | None -> None)
-                (Option.map (fun (o : Routing.Best.outcome) -> o.report) best)
+                 point, same front membership, same serve session. *)
+              (let winner =
+                 Option.map
+                   (fun (o : Routing.Best.outcome) ->
+                     o.heuristic.Routing.Heuristic.name)
+                   best
+               in
+               contribution
+                 ~sim:(Option.bind winner simobs_for)
+                 ~serve:(Option.bind winner serveobs_for)
+                 (Option.map (fun (o : Routing.Best.outcome) -> o.report) best))
             );
           ]
       in
@@ -298,6 +334,10 @@ type cell_acc = {
   p95_sum : float;
   slope_sum : float;
   front_n : int;
+  srv_n : int;  (* feasible trials that carried a serve session *)
+  srv_power_sum : float;
+  srv_saved_sum : float;
+  srv_p95_sum : float;
   work : Routing.Metrics.counters;
       (* Mutable block accumulated in place across the functional updates
          below — which is why this must be a function, not a shared
@@ -320,6 +360,10 @@ let cell_zero () =
     p95_sum = 0.;
     slope_sum = 0.;
     front_n = 0;
+    srv_n = 0;
+    srv_power_sum = 0.;
+    srv_saved_sum = 0.;
+    srv_p95_sum = 0.;
     work = Routing.Metrics.zero ();
   }
 
@@ -333,7 +377,7 @@ let cell_add c = function
         error_example =
           (match c.error_example with Some _ as e -> e | None -> Some msg);
       }
-  | Feasible { norm = v; power; detour; sim } ->
+  | Feasible { norm = v; power; detour; sim; serve } ->
       let c =
         {
           c with
@@ -343,6 +387,18 @@ let cell_add c = function
           power_n = c.power_n + 1;
           detour_sum = c.detour_sum + detour;
         }
+      in
+      let c =
+        match serve with
+        | None -> c
+        | Some s ->
+            {
+              c with
+              srv_n = c.srv_n + 1;
+              srv_power_sum = c.srv_power_sum +. s.sv_power;
+              srv_saved_sum = c.srv_saved_sum +. s.sv_saved;
+              srv_p95_sum = c.srv_p95_sum +. s.sv_p95;
+            }
       in
       (match sim with
       | None -> c
@@ -387,6 +443,15 @@ let stats_of_cell ~trials c =
     front_ratio =
       (if c.sim_n = 0 then None
        else Some (float_of_int c.front_n /. float_of_int c.sim_n));
+    srv_power =
+      (if c.srv_n = 0 then None
+       else Some (c.srv_power_sum /. float_of_int c.srv_n));
+    srv_saved =
+      (if c.srv_n = 0 then None
+       else Some (c.srv_saved_sum /. float_of_int c.srv_n));
+    srv_p95 =
+      (if c.srv_n = 0 then None
+       else Some (c.srv_p95_sum /. float_of_int c.srv_n));
   }
 
 let stats_of_checkpoint (c : Checkpoint.cell) =
@@ -403,6 +468,9 @@ let stats_of_checkpoint (c : Checkpoint.cell) =
     mean_p95 = c.mean_p95;
     mean_slope = c.mean_slope;
     front_ratio = c.front_ratio;
+    srv_power = c.srv_power;
+    srv_saved = c.srv_saved;
+    srv_p95 = c.srv_p95;
   }
 
 let checkpoint_of_stats (name, s) =
@@ -420,6 +488,9 @@ let checkpoint_of_stats (name, s) =
     mean_p95 = s.mean_p95;
     mean_slope = s.mean_slope;
     front_ratio = s.front_ratio;
+    srv_power = s.srv_power;
+    srv_saved = s.srv_saved;
+    srv_p95 = s.srv_p95;
   }
 
 (* What the audit selector needs to know about one finished trial, read
@@ -510,6 +581,7 @@ let audit_capture ~model ~heuristics ~figure ~x ~seed ~trials ~kinds t =
           (fun (h : Routing.Heuristic.t) ->
             ignore (Optim.Pathfinder.take_annotation ());
             ignore (Optim.Recover.take_reports ());
+            ignore (Optim.Online.take_session ());
             match
               let solution = h.run ?fault model Figure.mesh comms in
               {

@@ -52,6 +52,17 @@ type stats = {
       (** Fraction of Pareto-scored trials where this cell's point
           survived the trial's non-dominated front; [None] on non-sim
           figures. *)
+  srv_power : float option;
+      (** Mean {!Optim.Online} power-over-time (epoch-mean of the served
+          power split's total) over the cell's feasible trials; [None]
+          for heuristics that are not online services. *)
+  srv_saved : float option;
+      (** Mean switch-off saving ratio
+          ([1 - mean_power / mean_power_nosleep]) over the same trials;
+          0 when the cell serves with sleeping disabled. *)
+  srv_p95 : float option;
+      (** Mean p95 of the per-event [delta_evals] work proxy — the
+          deterministic tail-latency column of the serve figure. *)
 }
 
 type row = { x : float; cells : (string * stats) list }
@@ -63,6 +74,11 @@ type result = {
   seed : int;
   rows : row list;
 }
+
+val now_s : unit -> float
+(** CLOCK_MONOTONIC in seconds — the clock every campaign runtime is
+    measured with, exposed so CLI front ends time individual operations
+    (the serve command's per-event latencies) on the same basis. *)
 
 val default_trials : unit -> int
 (** [MANROUTE_TRIALS] from the environment, else 150. A set-but-invalid

@@ -89,13 +89,22 @@ type t = {
   pareto_front : Optim.Pareto.point list;
 }
 
-let order = [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "SMP"; "PF"; "REC"; "BEST" ]
+let order =
+  [ "XY"; "SG"; "IG"; "TB"; "XYI"; "PR"; "SMP"; "PF"; "REC"; "SRV"; "SRV0"; "BEST" ]
 
 (* Nearest-rank quantile on the retained runtimes: exact, no
    interpolation, deterministic for a fixed observation order. *)
 let quantile sorted p =
   let n = Array.length sorted in
   sorted.(max 0 (min (n - 1) (int_of_float (Float.ceil (p *. float_of_int n)) - 1)))
+
+let quantiles values =
+  if Array.length values = 0 then (0., 0.)
+  else begin
+    let sorted = Array.copy values in
+    Array.sort Float.compare sorted;
+    (quantile sorted 0.5, quantile sorted 0.95)
+  end
 
 let finalize (acc : acc) =
   let table : (string, per_h) Hashtbl.t = Hashtbl.create 8 in

@@ -86,6 +86,13 @@ type t = {
 
 val finalize : acc -> t
 
+val quantiles : float array -> float * float
+(** [(p50, p95)] of the values by the same exact nearest-rank rule as
+    {!t.runtime_quantiles_ms}, over a sorted copy (the input is not
+    mutated). [(0., 0.)] on an empty array. Exposed for per-operation
+    latency streams — the online serve CLI feeds its wall-clock per-event
+    latencies through this. *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders the Section 6.4 summary table, the runtime quantiles and the
     work-counter totals. *)

@@ -399,8 +399,15 @@ module Progress = struct
     and e = Atomic.get t.errors
     and c = Atomic.get t.credited in
     let eta =
+      (* The ETA rate counts only live-computed trials; checkpoint-resumed
+         credits arrive instantly and would inflate it. When *every*
+         completed trial so far was resumed the live rate is zero — there
+         is no measured pace to divide by, so say that instead of printing
+         an [inf]/[nan] ETA. *)
       let measured = d - c in
-      if measured <= 0 || d >= t.total then ""
+      if measured <= 0 then
+        if c > 0 && d < t.total then ", resumed (no live rate yet)" else ""
+      else if d >= t.total then ""
       else
         let elapsed =
           Int64.to_float (Int64.sub (Monotonic_clock.now ()) t.started) *. 1e-9

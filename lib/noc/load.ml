@@ -36,9 +36,23 @@ let get_effective_link t l = get_effective t (Mesh.link_id t.mesh l)
    [capacity] stay stable. *)
 let epsilon = 1e-9
 
+(* A removal that cancels the load to within [epsilon] *relative* to the
+   operands lands exactly on [0.]: long add/remove streams accumulate
+   rounding drift proportional to the magnitudes involved, and a tiny
+   negative or denormal residue would flip the link out of the idle class
+   ([load <= 0.]) and corrupt level/overload accounting. The absolute clamp
+   alone only covers residues below [1e-9], which high-rate streams
+   exceed. *)
 let add t id delta =
-  let x = t.loads.(id) +. delta in
-  t.loads.(id) <- (if x < epsilon && x > -.epsilon then 0. else x)
+  let x0 = t.loads.(id) in
+  let x = x0 +. delta in
+  t.loads.(id) <-
+    (if x < epsilon && x > -.epsilon then 0.
+     else if
+       delta < 0.
+       && Float.abs x <= epsilon *. Float.max (Float.abs x0) (-.delta)
+     then 0.
+     else x)
 
 let set t id x = t.loads.(id) <- x
 let add_link t l delta = add t (Mesh.link_id t.mesh l) delta

@@ -44,7 +44,11 @@ val get_effective_link : t -> Mesh.link -> float
 
 val add : t -> int -> float -> unit
 (** [add t id delta] adds [delta] (possibly negative) to a link load.
-    Tiny negative results from float cancellation are clamped to [0.]. *)
+    Tiny results from float cancellation are snapped to [0.]: absolutely
+    (below [1e-9]) and, for removals, relatively to the operand magnitudes
+    — so removing everything a long add/remove stream routed over a link
+    restores the idle class ([0.] bit-exactly) instead of leaving a
+    negative or denormal residue. *)
 
 val set : t -> int -> float -> unit
 (** [set t id x] overwrites a link load with [x], no clamping. Meant for

@@ -142,6 +142,153 @@ let prop_delta_matches_from_scratch =
       done;
       !ok)
 
+(* Pulled above the oracle properties that need it: switch the memoized
+   scorer backend for the duration of [f], restoring the env default. *)
+let with_backend b f =
+  Routing.Delta.set_table_backend b;
+  Fun.protect ~finally:(fun () -> Routing.Delta.set_table_backend None) f
+
+(* Departure-heavy sequences: a long-lived engine spends most of its
+   life removing — the memoized level/overload tallies must stay
+   bit-identical to a from-scratch rescore through interleaved
+   add/remove/mark/rollback on BOTH backends, and a full drain must
+   land on exactly the fresh empty engine's report. *)
+let prop_departure_heavy_tallies_bit_identical =
+  QCheck.Test.make
+    ~name:"departure-heavy interleavings keep tallies bit-identical (both backends)"
+    ~count:20
+    (QCheck.make instance_gen)
+    (fun (seed, p, model_idx, fault_kind) ->
+      List.for_all
+        (fun backend ->
+          with_backend (Some backend) @@ fun () ->
+          let mesh = Noc.Mesh.square p in
+          let model = models.(model_idx) in
+          let rng = Traffic.Rng.create seed in
+          let fault = make_fault rng fault_kind mesh in
+          let comms =
+            Array.of_list
+              (Traffic.Workload.uniform rng mesh ~n:8
+                 ~weight:(Traffic.Workload.weight ~lo:100. ~hi:3500.))
+          in
+          let d = Routing.Delta.create ?fault model mesh in
+          let routed = ref [] in
+          let random_path (c : Traffic.Communication.t) =
+            Noc.Path.random ~choose:(Traffic.Rng.int rng) ~src:c.src
+              ~snk:c.snk
+          in
+          let add () =
+            let c = comms.(Traffic.Rng.int rng (Array.length comms)) in
+            let path = random_path c in
+            Routing.Delta.add_path d path c.rate;
+            routed := (c, path) :: !routed
+          in
+          let remove () =
+            let i = Traffic.Rng.int rng (List.length !routed) in
+            let (c : Traffic.Communication.t), path = List.nth !routed i in
+            routed := List.filteri (fun j _ -> j <> i) !routed;
+            Routing.Delta.remove_path d path c.rate
+          in
+          let spec_remove () =
+            (* A speculated departure: mark, remove, check, roll back —
+               the removal path must keep tallies canonical even when it
+               is later undone. *)
+            match !routed with
+            | [] -> true
+            | ((c : Traffic.Communication.t), path) :: _ ->
+                let m = Routing.Delta.mark d in
+                Routing.Delta.remove_path d path c.rate;
+                let ok =
+                  report_eq (Routing.Delta.report d)
+                    (Routing.Evaluate.of_loads model (Routing.Delta.loads d))
+                in
+                Routing.Delta.rollback d m;
+                ok
+          in
+          let ok = ref true in
+          for _ = 1 to 6 do
+            add ()
+          done;
+          for _ = 1 to 40 do
+            (match Traffic.Rng.int rng 6 with
+            | 0 -> add ()
+            | 4 -> if not (spec_remove ()) then ok := false
+            | _ -> if !routed = [] then add () else remove ());
+            if
+              not
+                (report_eq (Routing.Delta.report d)
+                   (Routing.Evaluate.of_loads model (Routing.Delta.loads d)))
+            then ok := false
+          done;
+          (* Full drain: every load snaps to exactly 0 and the memoized
+             tallies equal a fresh empty engine's. *)
+          List.iter
+            (fun ((c : Traffic.Communication.t), path) ->
+              Routing.Delta.remove_path d path c.rate)
+            !routed;
+          if
+            not
+              (report_eq (Routing.Delta.report d)
+                 (Routing.Evaluate.of_loads model
+                    (Noc.Load.create ?fault mesh)))
+          then ok := false;
+          !ok)
+        [ true; false ])
+
+(* The removal-numerics fix in [Noc.Load.add]: removing the very paths
+   that were added — in any order — must land every link on bitwise
+   [+0.], not a cancellation residue, so [active_links] and the level
+   tallies see a truly empty chip. *)
+let prop_add_remove_roundtrip_restores_zero =
+  QCheck.Test.make
+    ~name:"add/remove round-trip restores every load to bitwise 0. (both backends)"
+    ~count:50
+    (QCheck.make QCheck.Gen.(pair (int_range 0 1_000_000) (int_range 3 6)))
+    (fun (seed, p) ->
+      List.for_all
+        (fun backend ->
+          with_backend (Some backend) @@ fun () ->
+          let mesh = Noc.Mesh.square p in
+          let rng = Traffic.Rng.create seed in
+          let comms =
+            Traffic.Workload.uniform rng mesh ~n:12
+              ~weight:(Traffic.Workload.weight ~lo:100. ~hi:3500.)
+          in
+          let d = Routing.Delta.create km mesh in
+          let routed =
+            List.map
+              (fun (c : Traffic.Communication.t) ->
+                let path =
+                  Noc.Path.random ~choose:(Traffic.Rng.int rng) ~src:c.src
+                    ~snk:c.snk
+                in
+                Routing.Delta.add_path d path c.rate;
+                (c, path))
+              comms
+          in
+          (* Remove in a shuffled order: interleaved histories are where
+             float cancellation leaves residues. *)
+          let arr = Array.of_list routed in
+          for i = Array.length arr - 1 downto 1 do
+            let j = Traffic.Rng.int rng (i + 1) in
+            let t = arr.(i) in
+            arr.(i) <- arr.(j);
+            arr.(j) <- t
+          done;
+          Array.iter
+            (fun ((c : Traffic.Communication.t), path) ->
+              Routing.Delta.remove_path d path c.rate)
+            arr;
+          let loads = Routing.Delta.loads d in
+          let all_zero = ref true in
+          for id = 0 to Noc.Mesh.num_links mesh - 1 do
+            if bits (Noc.Load.get loads id) <> bits 0. then all_zero := false
+          done;
+          !all_zero
+          && report_eq (Routing.Delta.report d)
+               (Routing.Evaluate.of_loads km (Noc.Load.create mesh)))
+        [ true; false ])
+
 (* ------------------------------------------------------------------ *)
 (* Journal semantics *)
 
@@ -225,10 +372,6 @@ let test_rollback_without_mark_raises () =
 
 (* ------------------------------------------------------------------ *)
 (* Scorer: table backend vs legacy direct computation *)
-
-let with_backend b f =
-  Routing.Delta.set_table_backend b;
-  Fun.protect ~finally:(fun () -> Routing.Delta.set_table_backend None) f
 
 let test_scorer_backends_agree () =
   let mesh = Noc.Mesh.square 3 in
@@ -342,7 +485,12 @@ let () =
   Alcotest.run "delta"
     [
       ( "oracle",
-        [ QCheck_alcotest.to_alcotest prop_delta_matches_from_scratch ] );
+        [
+          QCheck_alcotest.to_alcotest prop_delta_matches_from_scratch;
+          QCheck_alcotest.to_alcotest
+            prop_departure_heavy_tallies_bit_identical;
+          QCheck_alcotest.to_alcotest prop_add_remove_roundtrip_restores_zero;
+        ] );
       ( "journal",
         [
           Alcotest.test_case "rollback restores bit-exactly" `Quick

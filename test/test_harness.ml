@@ -6,7 +6,7 @@ let check_bool = Alcotest.(check bool)
 let check_float = Alcotest.(check (float 1e-9))
 
 let test_figures_registered () =
-  check_int "fourteen figures" 14 (List.length Harness.Figure.all);
+  check_int "fifteen figures" 15 (List.length Harness.Figure.all);
   check_bool "find fig8b" true
     (match Harness.Figure.find "FIG8B" with
     | Some f -> f.Harness.Figure.id = "fig8b"
@@ -476,6 +476,9 @@ let test_checkpoint_corrupt_lines_tolerated () =
       mean_p95 = None;
       mean_slope = Some 0.75;
       front_ratio = Some 1.;
+      srv_power = Some 4119.5;
+      srv_saved = Some 0.41;
+      srv_p95 = None;
     }
   in
   Harness.Checkpoint.append ~path key ~x:2. [ cell ];
@@ -692,20 +695,20 @@ let test_checkpoint_backcompat_without_counters () =
 
 let test_checkpoint_newer_version_fails_fast () =
   (* A key-matched row whose cells carry more fields than this build
-     writes (24 > 23 here) was made by a newer manroute: silently
+     writes (28 > 26 here) was made by a newer manroute: silently
      misparsing it would quietly recompute rows the user thinks are
      checkpointed, so the loader must raise the typed error instead. *)
   let path = temp_checkpoint "manroute_ckpt_newer.tsv" in
   let oc = open_out path in
   output_string oc
-    "row\tv1\ttiny\t1\t2\t0x1p+1\t1\tXY\t0x1p-1\t0x0p+0\t0x1p-2\t0x1p-7\t-\t0x0p+0\t-\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10\t11\t12\t13\t14\t15\t16\n";
+    "row\tv1\ttiny\t1\t2\t0x1p+1\t1\tXY\t0x1p-1\t0x0p+0\t0x1p-2\t0x1p-7\t-\t0x0p+0\t-\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10\t11\t12\t13\t14\t15\t16\t17\t18\t19\t20\n";
   close_out oc;
   let key = { Harness.Checkpoint.figure_id = "tiny"; seed = 1; trials = 2 } in
   (match Harness.Checkpoint.load ~path key with
   | _ -> Alcotest.fail "expected Newer_version"
   | exception Harness.Checkpoint.Newer_version { fields_per_cell; path = p; line }
     ->
-      check_int "cell arity surfaced" 24 fields_per_cell;
+      check_int "cell arity surfaced" 28 fields_per_cell;
       check_bool "offending path surfaced" true (p = path);
       check_int "offending line surfaced" 1 line;
       check_bool "printer names the remedy" true
@@ -842,6 +845,44 @@ let test_progress_line_accounting () =
       check_bool "env zero disables" false
         (Harness.Telemetry.progress_enabled ()))
 
+let test_progress_resumed_only_line () =
+  (* A campaign that resumed every completed trial so far has no live
+     rate to divide by: the line must say so instead of printing an
+     inf/nan ETA. *)
+  let path = Filename.temp_file "manroute-progress" ".txt" in
+  let out = open_out path in
+  let p =
+    Harness.Telemetry.Progress.create ~out ~label:"resumed" ~rows:2 ~total:20
+      ()
+  in
+  Harness.Telemetry.Progress.advance p 10;
+  close_out out;
+  let painted =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  Sys.remove path;
+  check_bool "paints the resumed marker" true
+    (contains_substring painted "resumed (no live rate yet)");
+  check_bool "no inf/nan ETA" true
+    (not
+       (contains_substring painted "inf" || contains_substring painted "nan"))
+
+let test_exposed_quantiles_match_rule () =
+  (* The exported helper follows the same nearest-rank rule as the
+     runtime quantiles, over a copy (input untouched), (0,0) on empty. *)
+  let values = [| 7.; 2.; 9.; 4.; 1.; 10.; 3.; 8.; 5.; 6. |] in
+  let copy = Array.copy values in
+  let p50, p95 = Harness.Summary.quantiles values in
+  check_float "p50 exact" 5. p50;
+  check_float "p95 exact" 10. p95;
+  check_bool "input not mutated" true (values = copy);
+  let z50, z95 = Harness.Summary.quantiles [||] in
+  check_float "empty p50" 0. z50;
+  check_float "empty p95" 0. z95
+
 let () =
   let quick name f = Alcotest.test_case name `Quick f in
   Alcotest.run "harness"
@@ -876,7 +917,10 @@ let () =
           quick "checkpoint back-compat" test_checkpoint_backcompat_without_counters;
           quick "checkpoint newer-version fail-fast" test_checkpoint_newer_version_fails_fast;
           quick "quantiles exact" test_summary_quantiles_exact;
+          quick "exposed quantiles follow the rule"
+            test_exposed_quantiles_match_rule;
           quick "progress accounting" test_progress_line_accounting;
+          quick "progress resumed-only line" test_progress_resumed_only_line;
           QCheck_alcotest.to_alcotest prop_summary_merge_bit_stable;
         ] );
       ( "render",
